@@ -1,0 +1,245 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure) and
+// the ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Shapes to look for (EXPERIMENTS.md records a full run):
+//   - Fig5/Fig6: Better ≤ Naive at every support level, both growing fast
+//     as support falls; Tall slower than Short in absolute terms.
+//   - Fig7: candidates per large itemset higher at fanout 9 than fanout 3.
+//   - Backends: Cumulate < Basic; Partition competitive.
+package negmine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"negmine"
+
+	"negmine/internal/bench"
+	"negmine/internal/gen"
+	"negmine/internal/negative"
+)
+
+// benchScale divides the paper's 50,000 transactions for benchmark runs;
+// the 8,000-item universe is kept, preserving relative supports.
+const benchScale = 25
+
+// benchMaxK caps stage-1 level depth so a single benchmark iteration stays
+// in the hundreds of milliseconds.
+const benchMaxK = 3
+
+var (
+	datasetOnce sync.Once
+	shortDS     *bench.Dataset
+	tallDS      *bench.Dataset
+	datasetErr  error
+)
+
+func datasets(b *testing.B) (*bench.Dataset, *bench.Dataset) {
+	b.Helper()
+	datasetOnce.Do(func() {
+		shortDS, datasetErr = bench.Short(benchScale, 1)
+		if datasetErr != nil {
+			return
+		}
+		tallDS, datasetErr = bench.Tall(benchScale, 1)
+	})
+	if datasetErr != nil {
+		b.Fatal(datasetErr)
+	}
+	return shortDS, tallDS
+}
+
+func mineNegative(b *testing.B, ds *bench.Dataset, minSupPct float64, alg negative.Algorithm) *negative.Result {
+	b.Helper()
+	res, err := negative.Mine(ds.DB, ds.Tax, negative.Options{
+		MinSupport: minSupPct / 100,
+		MinRI:      0.5,
+		Algorithm:  alg,
+		Gen:        gen.Options{Algorithm: gen.Cumulate, MaxK: benchMaxK},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig5Short regenerates Figure 5: Naive vs Better on the "Short"
+// dataset across minimum supports.
+func BenchmarkFig5Short(b *testing.B) {
+	short, _ := datasets(b)
+	for _, alg := range []negative.Algorithm{negative.Naive, negative.Improved} {
+		for _, pct := range []float64{2, 1.5, 1} {
+			b.Run(fmt.Sprintf("%v/minsup=%.1f%%", alg, pct), func(b *testing.B) {
+				var negSec float64
+				for i := 0; i < b.N; i++ {
+					res := mineNegative(b, short, pct, alg)
+					negSec += res.Timing.Negative.Seconds()
+				}
+				b.ReportMetric(negSec/float64(b.N), "neg-sec/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Tall regenerates Figure 6: the same sweep on "Tall".
+func BenchmarkFig6Tall(b *testing.B) {
+	_, tall := datasets(b)
+	for _, alg := range []negative.Algorithm{negative.Naive, negative.Improved} {
+		for _, pct := range []float64{2, 1.5, 1} {
+			b.Run(fmt.Sprintf("%v/minsup=%.1f%%", alg, pct), func(b *testing.B) {
+				var negSec float64
+				for i := 0; i < b.N; i++ {
+					res := mineNegative(b, tall, pct, alg)
+					negSec += res.Timing.Negative.Seconds()
+				}
+				b.ReportMetric(negSec/float64(b.N), "neg-sec/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Candidates regenerates Figure 7: negative candidates per
+// large itemset as a function of taxonomy fanout. The candidates/large
+// metric is the figure's y-axis.
+func BenchmarkFig7Candidates(b *testing.B) {
+	short, tall := datasets(b)
+	for _, ds := range []*bench.Dataset{short, tall} {
+		b.Run(fmt.Sprintf("%s/fanout=%v", ds.Name, ds.Params.Fanout), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res := mineNegative(b, ds, 1.5, negative.Improved)
+				large := len(res.Large.Large())
+				if large > 0 {
+					ratio = float64(res.TotalCandidates()) / float64(large)
+				}
+			}
+			b.ReportMetric(ratio, "cands/large")
+		})
+	}
+}
+
+// BenchmarkTable12Example runs the paper's worked example end to end
+// (Tables 1 and 2 plus the Perrier =/=> Bryers rule).
+func BenchmarkTable12Example(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunPaperExample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Result.Rules) == 0 {
+			b.Fatal("worked example produced no rules")
+		}
+	}
+}
+
+// BenchmarkBackends compares the stage-1 miners (ablation: Basic vs
+// Cumulate vs EstMerge vs Partition) on identical input.
+func BenchmarkBackends(b *testing.B) {
+	short, _ := datasets(b)
+	const minSup = 0.015
+	run := func(name string, mine func() (int, error)) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mine(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("Basic", func() (int, error) {
+		res, err := gen.Mine(short.DB, short.Tax, gen.Options{MinSupport: minSup, Algorithm: gen.Basic, MaxK: benchMaxK})
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Large()), nil
+	})
+	run("Cumulate", func() (int, error) {
+		res, err := gen.Mine(short.DB, short.Tax, gen.Options{MinSupport: minSup, Algorithm: gen.Cumulate, MaxK: benchMaxK})
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Large()), nil
+	})
+	run("EstMerge", func() (int, error) {
+		res, err := gen.Mine(short.DB, short.Tax, gen.Options{MinSupport: minSup, Algorithm: gen.EstMerge, MaxK: benchMaxK, SampleSize: 400})
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Large()), nil
+	})
+	run("Partition", func() (int, error) {
+		res, err := negmine.MinePartition(short.DB, negmine.PartitionOptions{
+			MinSupport: minSup, NumPartitions: 4, MaxK: benchMaxK, Taxonomy: short.Tax,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Large()), nil
+	})
+}
+
+// BenchmarkAblationTaxonomyCompression measures the improved algorithm with
+// and without the "delete small 1-itemsets from the taxonomy" optimization
+// (paper §2.2's first optimization).
+func BenchmarkAblationTaxonomyCompression(b *testing.B) {
+	short, _ := datasets(b)
+	for _, disabled := range []bool{false, true} {
+		name := "compressed"
+		if disabled {
+			name = "full-taxonomy"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := negative.Mine(short.DB, short.Tax, negative.Options{
+					MinSupport:                 0.015,
+					MinRI:                      0.5,
+					Gen:                        gen.Options{Algorithm: gen.Cumulate, MaxK: benchMaxK},
+					DisableTaxonomyCompression: disabled,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemoryBound measures the §2.5 candidate memory bound:
+// smaller bounds mean more counting passes.
+func BenchmarkAblationMemoryBound(b *testing.B) {
+	short, _ := datasets(b)
+	for _, bound := range []int{0, 1000, 100} {
+		b.Run(fmt.Sprintf("maxCands=%d", bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := negative.Mine(short.DB, short.Tax, negative.Options{
+					MinSupport:    0.015,
+					MinRI:         0.5,
+					Gen:           gen.Options{Algorithm: gen.Cumulate, MaxK: benchMaxK},
+					MaxCandidates: bound,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCounting measures the sharded-scan counting speedup.
+func BenchmarkParallelCounting(b *testing.B) {
+	short, _ := datasets(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := gen.Options{MinSupport: 0.015, Algorithm: gen.Cumulate, MaxK: benchMaxK}
+				opt.Count.Parallelism = workers
+				if _, err := gen.Mine(short.DB, short.Tax, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTables12(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Table 1", "Table 2",
+		"{perrier} =/=> {bryers}",
+		"{bryers}", "200",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFiguresSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	var out bytes.Buffer
+	// Heavy scaling keeps this a smoke test; MaxK bounds level depth.
+	err := run([]string{"-fig", "5,7", "-scale", "100", "-minsups", "3,2", "-maxk", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Figure 5", "naive(s)", "Figure 7", "analytic estimate",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if err := run([]string{"-fig", "5", "-minsups", "abc"}, &out); err == nil {
+		t.Error("bad minsups accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats(" 2, 1.5 ,1,")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[1] != 1.5 || got[2] != 1 {
+		t.Errorf("parseFloats = %v, %v", got, err)
+	}
+	if _, err := parseFloats("1,x"); err == nil {
+		t.Error("bad float accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Command negmine mines association rules — positive and negative — from a
+// transaction file and an item taxonomy.
+//
+// Usage:
+//
+//	negmine -data baskets.txt -tax taxonomy.txt -minsup 0.02 -minri 0.5
+//
+// Flags:
+//
+//	-data file     transactions: basket text (one basket per line) or the
+//	               library's binary format (.nmtx)
+//	-tax file      taxonomy: "parent child" edges, one per line
+//	-minsup f      minimum relative support (default 0.02)
+//	-minri f       minimum rule interest for negative rules (default 0.5)
+//	-minconf f     minimum confidence for positive rules (default 0.6)
+//	-alg name      negative algorithm: better (default) or naive
+//	-gen name      stage-1 algorithm: basic, cumulate (default), estmerge
+//	-positive      also mine and print positive generalized rules
+//	-negatives     print confirmed negative itemsets as well as rules
+//	-parallel n    counting workers (default 1)
+//	-maxk n        cap large-itemset size (0 = unlimited)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"negmine"
+	"negmine/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "negmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("negmine", flag.ContinueOnError)
+	var (
+		dataPath  = fs.String("data", "", "transaction file (basket text or .nmtx binary)")
+		taxPath   = fs.String("tax", "", "taxonomy file (parent child edges)")
+		minSup    = fs.Float64("minsup", 0.02, "minimum relative support")
+		minRI     = fs.Float64("minri", 0.5, "minimum rule interest")
+		minConf   = fs.Float64("minconf", 0.6, "minimum confidence for positive rules")
+		algName   = fs.String("alg", "better", "negative algorithm: better or naive")
+		genName   = fs.String("gen", "cumulate", "stage-1 algorithm: basic, cumulate or estmerge")
+		positive  = fs.Bool("positive", false, "also mine positive generalized rules")
+		negatives = fs.Bool("negatives", false, "print negative itemsets too")
+		parallel  = fs.Int("parallel", 1, "counting workers")
+		maxK      = fs.Int("maxk", 0, "cap large-itemset size (0 = unlimited)")
+		format    = fs.String("format", "text", "output format: text, json or csv")
+		subsPath  = fs.String("subs", "", "substitute-group file: one group of item names per line")
+		interest  = fs.Float64("interesting", 0, "prune positive rules to the R-interesting ones (0 = off; try 1.1)")
+		filter    = fs.String("filter", "deviation", "negative-itemset filter: deviation (§2) or absolute (Figure 3)")
+		explain   = fs.Bool("explain", false, "print the full derivation of every negative rule")
+		diffPath  = fs.String("diff", "", "previous run's JSON report: print appeared/disappeared/changed rules")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *taxPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-data and -tax are required")
+	}
+
+	taxFile, err := os.Open(*taxPath)
+	if err != nil {
+		return err
+	}
+	tax, err := negmine.ParseTaxonomy(taxFile)
+	taxFile.Close()
+	if err != nil {
+		return err
+	}
+
+	db, err := loadData(*dataPath, tax.Dictionary())
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(*format) {
+	case "text", "json", "csv":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json or csv)", *format)
+	}
+	if strings.ToLower(*format) == "text" {
+		stats, err := negmine.CollectStats(db)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %d transactions (avg length %.1f), taxonomy: %d nodes, %d leaves, height %d\n",
+			stats.Transactions, stats.AvgLen, tax.Size(), tax.Leaves().Len(), tax.Height())
+	}
+
+	genAlg, err := parseGenAlg(*genName)
+	if err != nil {
+		return err
+	}
+	negAlg := negmine.Improved
+	switch strings.ToLower(*algName) {
+	case "better", "improved":
+	case "naive":
+		negAlg = negmine.Naive
+	default:
+		return fmt.Errorf("unknown -alg %q (want better or naive)", *algName)
+	}
+
+	opt := negmine.NegativeOptions{
+		MinSupport: *minSup,
+		MinRI:      *minRI,
+		Algorithm:  negAlg,
+		Gen:        negmine.GeneralizedOptions{Algorithm: genAlg, MaxK: *maxK},
+	}
+	opt.Count.Parallelism = *parallel
+	opt.Gen.Count.Parallelism = *parallel
+	switch strings.ToLower(*filter) {
+	case "deviation":
+	case "absolute":
+		opt.Filter = negmine.AbsoluteFilter
+	default:
+		return fmt.Errorf("unknown -filter %q (want deviation or absolute)", *filter)
+	}
+	if *subsPath != "" {
+		groups, err := loadSubstitutes(*subsPath, tax.Dictionary())
+		if err != nil {
+			return err
+		}
+		opt.Substitutes = groups
+	}
+
+	res, err := negmine.MineNegative(db, tax, opt)
+	if err != nil {
+		return err
+	}
+
+	switch strings.ToLower(*format) {
+	case "json":
+		return report.WriteNegativeJSON(out, res, *minSup, *minRI, tax.Name)
+	case "csv":
+		return report.WriteNegativeCSV(out, res, tax.Name)
+	}
+
+	fmt.Fprintf(out, "\nstage 1 (%v): %d generalized large itemsets in %v\n",
+		genAlg, len(res.Large.Large()), res.Timing.Stage1.Round(timeUnit))
+	fmt.Fprintf(out, "stage 2+3 (%v): %d candidates, %d negative itemsets, %d rules in %v\n",
+		negAlg, res.TotalCandidates(), len(res.Negatives), len(res.Rules),
+		res.Timing.Negative.Round(timeUnit))
+
+	if *negatives {
+		fmt.Fprintln(out, "\nnegative itemsets (expected vs actual support):")
+		for _, n := range res.Negatives {
+			fmt.Fprintf(out, "  %s  exp=%.4f act=%.4f\n", n.Set.Format(tax.Name), n.Expected, n.Actual())
+		}
+	}
+
+	fmt.Fprintln(out, "\nnegative rules:")
+	if len(res.Rules) == 0 {
+		fmt.Fprintln(out, "  (none at these thresholds)")
+	}
+	for _, r := range res.Rules {
+		fmt.Fprintf(out, "  %s\n", r.Format(tax.Name))
+	}
+	if *explain && len(res.Rules) > 0 {
+		fmt.Fprintln(out, "\nderivations:")
+		for _, r := range res.Rules {
+			fmt.Fprintln(out, negmine.ExplainRule(r, res, tax.Name))
+		}
+	}
+
+	if *diffPath != "" {
+		f, err := os.Open(*diffPath)
+		if err != nil {
+			return err
+		}
+		old, err := negmine.LoadRuleStore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nvs previous run (%s):\n", *diffPath)
+		negmine.CompareRules(old, negmine.NewRuleStore(res, tax.Name), 0.05).Print(out)
+	}
+
+	if *positive {
+		rules, err := negmine.GenerateRules(res.Large, *minConf)
+		if err != nil {
+			return err
+		}
+		header := fmt.Sprintf("\npositive generalized rules (minconf %.2f):", *minConf)
+		if *interest > 0 {
+			rules, err = negmine.PruneInteresting(rules, res.Large, tax, *interest)
+			if err != nil {
+				return err
+			}
+			header = fmt.Sprintf("\npositive generalized rules (minconf %.2f, R-interesting at %.2f):", *minConf, *interest)
+		}
+		sort.Slice(rules, func(i, j int) bool { return rules[i].Confidence > rules[j].Confidence })
+		fmt.Fprintln(out, header)
+		for _, r := range rules {
+			fmt.Fprintf(out, "  %s\n", r.Format(tax.Name))
+		}
+	}
+	return nil
+}
+
+// loadSubstitutes parses a substitute-group file: one group per line, item
+// names whitespace-separated, '#' comments. Names must already exist in the
+// taxonomy's dictionary.
+func loadSubstitutes(path string, dict *negmine.Dictionary) ([]negmine.Itemset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var groups []negmine.Itemset
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		items := make([]negmine.Item, len(fields))
+		for i, f := range fields {
+			id, ok := dict.Lookup(f)
+			if !ok {
+				return nil, fmt.Errorf("substitutes %s:%d: unknown item %q", path, lineNo+1, f)
+			}
+			items[i] = id
+		}
+		groups = append(groups, negmine.NewItemset(items...))
+	}
+	return groups, nil
+}
+
+const timeUnit = 1000 * 1000 // microseconds
+
+func loadData(path string, dict *negmine.Dictionary) (negmine.DB, error) {
+	if strings.HasSuffix(path, ".nmtx") {
+		return negmine.OpenDB(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return negmine.ReadBaskets(f, dict)
+}
+
+func parseGenAlg(name string) (negmine.GenAlgorithm, error) {
+	switch strings.ToLower(name) {
+	case "basic":
+		return negmine.Basic, nil
+	case "cumulate":
+		return negmine.Cumulate, nil
+	case "estmerge":
+		return negmine.EstMerge, nil
+	default:
+		return negmine.Basic, fmt.Errorf("unknown -gen %q (want basic, cumulate or estmerge)", name)
+	}
+}

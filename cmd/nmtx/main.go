@@ -1,0 +1,165 @@
+// Command nmtx inspects and converts transaction files in the library's
+// binary format (plain or gzipped).
+//
+//	nmtx -stats data.nmtx              # header + basket statistics
+//	nmtx -head 5 data.nmtx             # first baskets as integer ids
+//	nmtx -convert out.txt data.nmtx    # binary → integer basket text
+//	nmtx -pack out.nmtx.gz data.txt    # basket text → (gzipped) binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"negmine"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nmtx:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nmtx", flag.ContinueOnError)
+	var (
+		stats   = fs.Bool("stats", false, "print header and basket statistics")
+		head    = fs.Int("head", 0, "print the first N baskets")
+		convert = fs.String("convert", "", "write the file as integer basket text to this path")
+		pack    = fs.String("pack", "", "write the (text) input as binary to this path (.gz for gzip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one input file required")
+	}
+	path := fs.Arg(0)
+
+	db, err := open(path)
+	if err != nil {
+		return err
+	}
+
+	did := false
+	if *stats {
+		did = true
+		if err := printStats(out, path, db); err != nil {
+			return err
+		}
+	}
+	if *head > 0 {
+		did = true
+		n := 0
+		err := db.Scan(func(tx negmine.Transaction) error {
+			if n >= *head {
+				return errEnough
+			}
+			n++
+			ids := make([]string, tx.Items.Len())
+			for i, x := range tx.Items {
+				ids[i] = fmt.Sprint(x)
+			}
+			fmt.Fprintf(out, "%d: %s\n", tx.TID, strings.Join(ids, " "))
+			return nil
+		})
+		if err != nil && err != errEnough {
+			return err
+		}
+	}
+	if *convert != "" {
+		did = true
+		f, err := os.Create(*convert)
+		if err != nil {
+			return err
+		}
+		if err := writeInts(f, db); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote basket text to %s\n", *convert)
+	}
+	if *pack != "" {
+		did = true
+		if err := negmine.SaveDB(*pack, db); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote binary to %s\n", *pack)
+	}
+	if !did {
+		return printStats(out, path, db) // default action
+	}
+	return nil
+}
+
+var errEnough = fmt.Errorf("enough")
+
+// open loads path as binary (.nmtx/.nmtx.gz) or integer basket text.
+func open(path string) (negmine.DB, error) {
+	if strings.HasSuffix(path, ".nmtx") || strings.HasSuffix(path, ".nmtx.gz") {
+		return negmine.OpenDB(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return negmine.ReadBasketsInts(f)
+}
+
+func printStats(out io.Writer, path string, db negmine.DB) error {
+	st, err := negmine.CollectStats(db)
+	if err != nil {
+		return err
+	}
+	// Basket length histogram.
+	hist := map[int]int{}
+	if err := db.Scan(func(tx negmine.Transaction) error {
+		hist[tx.Items.Len()]++
+		return nil
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s:\n", path)
+	fmt.Fprintf(out, "  transactions: %d\n", st.Transactions)
+	fmt.Fprintf(out, "  total items:  %d\n", st.TotalItems)
+	fmt.Fprintf(out, "  avg length:   %.2f\n", st.AvgLen)
+	fmt.Fprintf(out, "  max item id:  %d\n", st.MaxItem)
+	lengths := make([]int, 0, len(hist))
+	for l := range hist {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	fmt.Fprintln(out, "  length histogram:")
+	for _, l := range lengths {
+		fmt.Fprintf(out, "    %3d: %d\n", l, hist[l])
+	}
+	return nil
+}
+
+func writeInts(w io.Writer, db negmine.DB) error {
+	err := db.Scan(func(tx negmine.Transaction) error {
+		for i, x := range tx.Items {
+			if i > 0 {
+				if _, err := fmt.Fprint(w, " "); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprint(w, int(x)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	})
+	return err
+}

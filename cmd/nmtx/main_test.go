@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"negmine"
+)
+
+func fixture(t *testing.T) string {
+	t.Helper()
+	db := negmine.FromItemsets(
+		[]negmine.Item{1, 2, 3},
+		[]negmine.Item{2, 4},
+		[]negmine.Item{1},
+	)
+	path := filepath.Join(t.TempDir(), "f.nmtx")
+	if err := negmine.SaveDB(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStatsDefault(t *testing.T) {
+	path := fixture(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"transactions: 3", "avg length:   2.00", "max item id:  4", "length histogram"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHead(t *testing.T) {
+	path := fixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-head", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || lines[0] != "1: 1 2 3" || lines[1] != "2: 2 4" {
+		t.Errorf("head output:\n%s", out.String())
+	}
+}
+
+func TestConvertAndPackRoundTrip(t *testing.T) {
+	path := fixture(t)
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "out.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-convert", txt, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "1 2 3\n2 4\n1\n" {
+		t.Errorf("converted text = %q", raw)
+	}
+	// Pack text back to gzipped binary and compare stats.
+	gz := filepath.Join(dir, "out.nmtx.gz")
+	out.Reset()
+	if err := run([]string{"-pack", gz, txt}, &out); err != nil {
+		t.Fatal(err)
+	}
+	db, err := negmine.OpenDB(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 3 {
+		t.Errorf("packed count = %d", db.Count())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run([]string{"a", "b"}, &out); err == nil {
+		t.Error("two inputs accepted")
+	}
+	if err := run([]string{"/does/not/exist.nmtx"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package negmine_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"negmine"
+)
+
+// Example mines negative rules end to end: pepsi sells well, chips sell
+// well, but they almost never sell together — far below what the taxonomy
+// (pepsi and coke are sibling sodas, and coke moves with chips) predicts.
+func Example() {
+	tax, err := negmine.ParseTaxonomy(strings.NewReader(`
+		soda coke
+		soda pepsi
+		snacks chips`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baskets := strings.Repeat("coke chips\n", 8) +
+		"coke\ncoke\n" +
+		strings.Repeat("pepsi\n", 5) +
+		"chips\nchips\nchips\nchips\nchips\n"
+	db, err := negmine.ReadBaskets(strings.NewReader(baskets), tax.Dictionary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := negmine.MineNegative(db, tax, negmine.NegativeOptions{
+		MinSupport: 0.2,
+		MinRI:      0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		fmt.Println(r.Format(tax.Name))
+	}
+	// Output:
+	// {pepsi} =/=> {snacks} (RI=0.8000 exp=0.2000 act=0.0000)
+	// {pepsi} =/=> {chips} (RI=0.8000 exp=0.2000 act=0.0000)
+}
+
+// ExampleMineFrequent shows classic Apriori plus positive rule generation.
+func ExampleMineFrequent() {
+	db := negmine.FromItemsets(
+		[]negmine.Item{1, 3, 4},
+		[]negmine.Item{2, 3, 5},
+		[]negmine.Item{1, 2, 3, 5},
+		[]negmine.Item{2, 5},
+	)
+	res, err := negmine.MineFrequent(db, negmine.FrequentOptions{MinSupport: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := negmine.GenerateRules(res, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("large itemsets:", len(res.Large()))
+	fmt.Println("first rule:", rules[0])
+	// Output:
+	// large itemsets: 9
+	// first rule: {1} => {3} (sup=0.5000 conf=1.0000)
+}
+
+// ExampleGenerateData runs the paper's synthetic retail generator.
+func ExampleGenerateData() {
+	p := negmine.ScaleDataParams(negmine.ShortDataParams(), 100)
+	p.Seed = 1
+	tax, db, err := negmine.GenerateData(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transactions:", db.Count())
+	fmt.Println("leaf items:", tax.Leaves().Len())
+	// Output:
+	// transactions: 500
+	// leaf items: 80
+}

@@ -1,0 +1,92 @@
+// Quickstart: mine positive and negative association rules from a small
+// hand-written grocery dataset using only the public negmine API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"negmine"
+)
+
+// The item taxonomy: one "parent child" edge per line.
+const taxonomySrc = `
+beverages soda
+beverages juice
+soda coke
+soda pepsi
+snacks chips
+snacks pretzels
+`
+
+// One basket per line. Coke dominates the chips baskets; pepsi sells fine
+// on its own but almost never with chips — the classic negative
+// association.
+const basketsSrc = `
+coke chips
+coke chips
+coke chips
+coke chips
+coke chips
+coke chips
+coke chips
+coke chips
+coke
+coke
+pepsi
+pepsi
+pepsi
+pepsi
+pepsi chips
+juice chips
+juice chips
+coke pretzels
+coke pretzels
+pretzels
+`
+
+func main() {
+	tax, err := negmine.ParseTaxonomy(strings.NewReader(taxonomySrc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := negmine.ReadBaskets(strings.NewReader(basketsSrc), tax.Dictionary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d baskets over taxonomy:\n%s\n", db.Count(), tax)
+
+	// 1. Classic frequent itemsets and positive rules.
+	freq, err := negmine.MineFrequent(db, negmine.FrequentOptions{MinSupport: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := negmine.GenerateRules(freq, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("positive rules (minsup 25%, minconf 60%):")
+	for _, r := range rules {
+		fmt.Printf("  %s\n", r.Format(tax.Name))
+	}
+
+	// 2. Negative rules: what do chips buyers avoid?
+	res, err := negmine.MineNegative(db, tax, negmine.NegativeOptions{
+		MinSupport: 0.15, // antecedent, consequent and large itemsets all need 15% support
+		MinRI:      0.3,  // rule interest: how far below expectation the pair must fall
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnegative itemsets (actual support far below expected):")
+	for _, n := range res.Negatives {
+		fmt.Printf("  %s  expected %.2f, actual %.2f\n", n.Set.Format(tax.Name), n.Expected, n.Actual())
+	}
+	fmt.Println("\nnegative rules:")
+	for _, r := range res.Rules {
+		fmt.Printf("  %s\n", r.Format(tax.Name))
+	}
+}

@@ -1,0 +1,3 @@
+module negmine
+
+go 1.22

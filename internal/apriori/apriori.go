@@ -1,0 +1,200 @@
+// Package apriori implements the classic Apriori algorithm of Agrawal &
+// Srikant (VLDB 1994): level-wise frequent-itemset mining with the
+// apriori-gen candidate generator (join + prune), hash-tree support
+// counting, and the ap-genrules positive rule generator.
+//
+// The paper under reproduction uses Apriori twice: its generalized miners
+// (package gen) reuse Gen and the counting engine, and its negative rule
+// generator (package negative) extends GenRules.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"negmine/internal/count"
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the relative minimum support in (0, 1].
+	MinSupport float64
+	// MaxK caps the itemset size mined (0 = unlimited).
+	MaxK int
+	// Count holds pass-level options (parallelism, hash tree tuning,
+	// transaction transform).
+	Count count.Options
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	if o.MinSupport <= 0 || o.MinSupport > 1 {
+		return fmt.Errorf("apriori: MinSupport = %v, want (0, 1]", o.MinSupport)
+	}
+	if o.MaxK < 0 {
+		return fmt.Errorf("apriori: MaxK = %d, want ≥ 0", o.MaxK)
+	}
+	return nil
+}
+
+// Result is the outcome of a frequent-itemset mining run.
+type Result struct {
+	// Levels[k-1] holds the large k-itemsets with their absolute support
+	// counts, each level sorted lexicographically.
+	Levels [][]item.CountedSet
+	// Table maps every large itemset to its absolute support count.
+	Table *item.SupportTable
+	// N is the number of transactions scanned.
+	N int
+	// MinCount is the absolute support threshold used (ceil of
+	// MinSupport·N, but at least 1).
+	MinCount int
+}
+
+// Large returns all large itemsets of every size, level by level.
+func (r *Result) Large() []item.CountedSet {
+	var out []item.CountedSet
+	for _, lvl := range r.Levels {
+		out = append(out, lvl...)
+	}
+	return out
+}
+
+// LevelSets returns just the itemsets of level k (1-based), nil if none.
+func (r *Result) LevelSets(k int) []item.Itemset {
+	if k < 1 || k > len(r.Levels) {
+		return nil
+	}
+	out := make([]item.Itemset, len(r.Levels[k-1]))
+	for i, cs := range r.Levels[k-1] {
+		out[i] = cs.Set
+	}
+	return out
+}
+
+// MinCount converts a relative support into the absolute transaction count
+// threshold used throughout the library: ceil(minSup·n), at least 1.
+func MinCount(minSup float64, n int) int {
+	mc := int(minSup * float64(n))
+	if float64(mc) < minSup*float64(n) {
+		mc++
+	}
+	if mc < 1 {
+		mc = 1
+	}
+	return mc
+}
+
+// Mine runs level-wise Apriori over db.
+func Mine(db txdb.DB, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n := db.Count()
+	res := &Result{Table: item.NewSupportTable(n), N: n, MinCount: MinCount(opt.MinSupport, n)}
+
+	// Pass 1: singletons.
+	singles, err := count.Singletons(db, opt.Count)
+	if err != nil {
+		return nil, err
+	}
+	var l1 []item.CountedSet
+	singles.Each(func(s item.Itemset, c int) {
+		if c >= res.MinCount {
+			l1 = append(l1, item.CountedSet{Set: s, Count: c})
+		}
+	})
+	sort.Slice(l1, func(i, j int) bool { return l1[i].Set.Compare(l1[j].Set) < 0 })
+	if len(l1) == 0 {
+		return res, nil
+	}
+	res.Levels = append(res.Levels, l1)
+	for _, cs := range l1 {
+		res.Table.Put(cs.Set, cs.Count)
+	}
+
+	// Passes k ≥ 2.
+	prev := res.LevelSets(1)
+	for k := 2; opt.MaxK == 0 || k <= opt.MaxK; k++ {
+		cands := Gen(prev)
+		if len(cands) == 0 {
+			break
+		}
+		counts, err := count.Candidates(db, cands, opt.Count)
+		if err != nil {
+			return nil, err
+		}
+		var level []item.CountedSet
+		for i, c := range cands {
+			if counts[i] >= res.MinCount {
+				level = append(level, item.CountedSet{Set: c, Count: counts[i]})
+			}
+		}
+		if len(level) == 0 {
+			break
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i].Set.Compare(level[j].Set) < 0 })
+		res.Levels = append(res.Levels, level)
+		prev = prev[:0]
+		for _, cs := range level {
+			res.Table.Put(cs.Set, cs.Count)
+			prev = append(prev, cs.Set)
+		}
+	}
+	return res, nil
+}
+
+// Gen is apriori-gen: given the sorted large (k-1)-itemsets, it returns the
+// candidate k-itemsets — the join of pairs sharing a (k-2)-prefix, pruned of
+// candidates with any small (k-1)-subset.
+func Gen(prev []item.Itemset) []item.Itemset {
+	if len(prev) == 0 {
+		return nil
+	}
+	k1 := prev[0].Len() // k-1
+	prevSet := make(map[item.Key]struct{}, len(prev))
+	for _, p := range prev {
+		prevSet[p.Key()] = struct{}{}
+	}
+	var out []item.Itemset
+	// Join step: prev is sorted, so itemsets sharing a (k-2)-prefix are
+	// adjacent runs.
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			if !samePrefix(prev[i], prev[j], k1-1) {
+				break
+			}
+			cand := prev[i].With(prev[j][k1-1])
+			if hasAllSubsets(cand, prevSet) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b item.Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAllSubsets implements the prune step: every (k-1)-subset of cand must
+// be a previously large itemset.
+func hasAllSubsets(cand item.Itemset, prev map[item.Key]struct{}) bool {
+	ok := true
+	cand.Subsets(cand.Len()-1, func(sub item.Itemset) {
+		if !ok {
+			return
+		}
+		if _, found := prev[sub.Key()]; !found {
+			ok = false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,114 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+func TestMineDHPMatchesMine(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		db := &txdb.MemDB{}
+		for i := 0; i < 80+r.Intn(100); i++ {
+			n := 1 + r.Intn(7)
+			raw := make([]item.Item, n)
+			for j := range raw {
+				raw[j] = item.Item(r.Intn(20))
+			}
+			db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+		}
+		minSup := 0.05 + r.Float64()*0.2
+		want, err := Mine(db, Options{MinSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exercise both roomy and collision-heavy tables: exactness must
+		// hold regardless (small tables just prune less).
+		for _, buckets := range []int{8, 1 << 12} {
+			got, err := MineDHP(db, DHPOptions{
+				Options: Options{MinSupport: minSup},
+				Buckets: buckets,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := want.Large(), got.Large()
+			if len(a) != len(b) {
+				t.Fatalf("trial %d buckets %d: %d vs %d itemsets", trial, buckets, len(b), len(a))
+			}
+			for i := range a {
+				if !a[i].Set.Equal(b[i].Set) || a[i].Count != b[i].Count {
+					t.Fatalf("trial %d buckets %d itemset %d: %v/%d vs %v/%d",
+						trial, buckets, i, b[i].Set, b[i].Count, a[i].Set, a[i].Count)
+				}
+			}
+		}
+	}
+}
+
+func TestDHPPrunesCandidates(t *testing.T) {
+	// Construct data where most pairs are infrequent: 30 items, but only
+	// {0,1} co-occurs often. DHP must prune nearly all of C2 before
+	// counting.
+	db := &txdb.MemDB{}
+	tid := int64(0)
+	add := func(items ...item.Item) {
+		tid++
+		db.Append(txdb.Transaction{TID: tid, Items: item.New(items...)})
+	}
+	for i := 0; i < 50; i++ {
+		add(0, 1)
+	}
+	// Every other item appears alone often enough to be a large
+	// 1-itemset, so apriori-gen would produce C(30,2)=435 pair candidates.
+	for x := item.Item(2); x < 30; x++ {
+		for i := 0; i < 20; i++ {
+			add(x)
+		}
+	}
+	res, err := MineDHP(db, DHPOptions{Options: Options{MinSupport: 0.03}, Buckets: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Table.Count(item.New(0, 1)); got != 50 {
+		t.Errorf("sup({0,1}) = %d", got)
+	}
+	if len(res.Levels) != 2 || len(res.Levels[1]) != 1 {
+		t.Errorf("levels = %v", res.Levels)
+	}
+}
+
+func TestDHPEdgeCases(t *testing.T) {
+	res, err := MineDHP(txdb.FromItemsets(), DHPOptions{Options: Options{MinSupport: 0.5}})
+	if err != nil || len(res.Levels) != 0 {
+		t.Errorf("empty db: %v, %d levels", err, len(res.Levels))
+	}
+	if _, err := MineDHP(classicDB(), DHPOptions{Options: Options{MinSupport: 0}}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	// Classic dataset, default buckets.
+	got, err := MineDHP(classicDB(), DHPOptions{Options: Options{MinSupport: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Mine(classicDB(), Options{MinSupport: 0.5})
+	if len(got.Large()) != len(want.Large()) {
+		t.Errorf("classic: %d vs %d", len(got.Large()), len(want.Large()))
+	}
+}
+
+func TestBucketOfDeterministic(t *testing.T) {
+	a := bucketOf(item.New(3, 7), 64)
+	b := bucketOf(item.New(3, 7), 64)
+	if a != b || a < 0 || a >= 64 {
+		t.Errorf("bucketOf unstable or out of range: %d, %d", a, b)
+	}
+	if bucketOf(item.New(3, 7), 64) == bucketOf(item.New(3, 8), 64) &&
+		bucketOf(item.New(4, 7), 64) == bucketOf(item.New(4, 8), 64) &&
+		bucketOf(item.New(5, 7), 64) == bucketOf(item.New(5, 8), 64) {
+		t.Error("hash suspiciously collides on consecutive sets")
+	}
+}

@@ -1,0 +1,109 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+func TestMineHybridMatchesMine(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		db := &txdb.MemDB{}
+		for i := 0; i < 60+r.Intn(100); i++ {
+			n := 1 + r.Intn(7)
+			raw := make([]item.Item, n)
+			for j := range raw {
+				raw[j] = item.Item(r.Intn(14))
+			}
+			db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+		}
+		minSup := 0.05 + r.Float64()*0.2
+		want, err := Mine(db, Options{MinSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int{1, 50, 1 << 20} {
+			got, err := MineHybrid(db, HybridOptions{
+				Options:      Options{MinSupport: minSup},
+				SwitchBudget: budget,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := want.Large(), got.Large()
+			if len(a) != len(b) {
+				t.Fatalf("trial %d budget %d: %d vs %d itemsets", trial, budget, len(b), len(a))
+			}
+			for i := range a {
+				if !a[i].Set.Equal(b[i].Set) || a[i].Count != b[i].Count {
+					t.Fatalf("trial %d budget %d itemset %d: %v/%d vs %v/%d",
+						trial, budget, i, b[i].Set, b[i].Count, a[i].Set, a[i].Count)
+				}
+			}
+		}
+	}
+}
+
+func TestMineHybridSwitchSavesPasses(t *testing.T) {
+	db := txdb.Instrument(classicDB())
+	// Unlimited budget: switch at the first opportunity (pass 2); passes
+	// afterwards run on id lists. L3 exists, so plain Apriori needs 3 scans
+	// while hybrid needs 2.
+	res, err := MineHybrid(db, HybridOptions{
+		Options:      Options{MinSupport: 0.5},
+		SwitchBudget: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(res.Levels))
+	}
+	if got := db.Passes(); got != 2 {
+		t.Errorf("hybrid scanned %d times, want 2", got)
+	}
+
+	db.Reset()
+	if _, err := Mine(db, Options{MinSupport: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Apriori scans once per level plus the final empty-candidate check
+	// does not scan; 3 levels → 3 scans (C4 generation is empty).
+	if got := db.Passes(); got != 3 {
+		t.Errorf("apriori scanned %d times, want 3", got)
+	}
+}
+
+func TestMineHybridTinyBudgetNeverSwitches(t *testing.T) {
+	db := txdb.Instrument(classicDB())
+	res, err := MineHybrid(db, HybridOptions{
+		Options:      Options{MinSupport: 0.5},
+		SwitchBudget: 1, // entries estimate always exceeds this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	if got := db.Passes(); got != 3 {
+		t.Errorf("no-switch hybrid scanned %d times, want 3 (pure Apriori)", got)
+	}
+}
+
+func TestMineHybridEdgeCases(t *testing.T) {
+	res, err := MineHybrid(txdb.FromItemsets(), HybridOptions{Options: Options{MinSupport: 0.5}})
+	if err != nil || len(res.Levels) != 0 {
+		t.Errorf("empty db: %v, %d levels", err, len(res.Levels))
+	}
+	if _, err := MineHybrid(classicDB(), HybridOptions{Options: Options{MinSupport: -1}}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	resK, err := MineHybrid(classicDB(), HybridOptions{Options: Options{MinSupport: 0.5, MaxK: 2}})
+	if err != nil || len(resK.Levels) != 2 {
+		t.Errorf("MaxK=2: %v, %d levels", err, len(resK.Levels))
+	}
+}

@@ -1,0 +1,90 @@
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"negmine/internal/item"
+)
+
+// Rule is a positive association rule Antecedent => Consequent with its
+// measures: Support is the relative support of Antecedent ∪ Consequent,
+// Confidence is sup(A ∪ C)/sup(A).
+type Rule struct {
+	Antecedent item.Itemset
+	Consequent item.Itemset
+	Support    float64
+	Confidence float64
+}
+
+// String renders the rule with raw item ids.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%.4f conf=%.4f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Format renders the rule with item names.
+func (r Rule) Format(name func(item.Item) string) string {
+	return fmt.Sprintf("%s => %s (sup=%.4f conf=%.4f)",
+		r.Antecedent.Format(name), r.Consequent.Format(name), r.Support, r.Confidence)
+}
+
+// GenRules implements ap-genrules: for every large itemset of size ≥ 2 it
+// emits all rules A => (l − A) with confidence ≥ minConf, growing consequents
+// level-wise and pruning by the anti-monotonicity of confidence (if a rule
+// with consequent c fails, every rule with a superset consequent fails too).
+func GenRules(res *Result, minConf float64) ([]Rule, error) {
+	if minConf < 0 || minConf > 1 {
+		return nil, fmt.Errorf("apriori: minConf = %v, want [0, 1]", minConf)
+	}
+	var rules []Rule
+	emit := func(l item.Itemset, lCount int, consequent item.Itemset) bool {
+		ante := l.Minus(consequent)
+		anteCount, ok := res.Table.Count(ante)
+		if !ok || anteCount == 0 {
+			// Cannot happen for large l (subsets of large sets are large);
+			// defensive for tables built by hand.
+			return false
+		}
+		conf := float64(lCount) / float64(anteCount)
+		if conf < minConf {
+			return false
+		}
+		rules = append(rules, Rule{
+			Antecedent: ante,
+			Consequent: consequent.Clone(),
+			Support:    float64(lCount) / float64(res.N),
+			Confidence: conf,
+		})
+		return true
+	}
+
+	for k := 2; k <= len(res.Levels); k++ {
+		for _, cs := range res.Levels[k-1] {
+			l, lCount := cs.Set, cs.Count
+			// H1: 1-item consequents that pass.
+			var h []item.Itemset
+			l.Subsets(1, func(c item.Itemset) {
+				if emit(l, lCount, c) {
+					h = append(h, c.Clone())
+				}
+			})
+			// Grow consequents with apriori-gen while they stay proper.
+			for m := 2; m < k && len(h) > 0; m++ {
+				next := Gen(h)
+				h = h[:0]
+				for _, c := range next {
+					if emit(l, lCount, c) {
+						h = append(h, c)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if c := rules[i].Antecedent.Compare(rules[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return rules[i].Consequent.Compare(rules[j].Consequent) < 0
+	})
+	return rules, nil
+}

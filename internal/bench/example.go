@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"negmine/internal/item"
+	"negmine/internal/negative"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// PaperExample reconstructs the paper's §2.1.1 worked example (Figure 2,
+// Tables 1 and 2) as a concrete 1,000-transaction database: supports are the
+// paper's values scaled 1:100, with pair overlaps chosen so the numbers are
+// realizable ({frozen yogurt, bottled water} co-occurs in 142 baskets).
+func PaperExample() (*taxonomy.Taxonomy, *txdb.MemDB, error) {
+	b := taxonomy.NewBuilder()
+	for _, e := range [][2]string{
+		{"noncarbonated", "bottledjuices"},
+		{"noncarbonated", "bottledwater"},
+		{"bottledwater", "perrier"},
+		{"bottledwater", "evian"},
+		{"desserts", "frozenyogurt"},
+		{"desserts", "icecreams"},
+		{"frozenyogurt", "bryers"},
+		{"frozenyogurt", "healthychoice"},
+	} {
+		b.Link(e[0], e[1])
+	}
+	tax, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	id := func(n string) item.Item {
+		x, _ := tax.Dictionary().Lookup(n)
+		return x
+	}
+	db := &txdb.MemDB{}
+	add := func(n int, names ...string) {
+		for i := 0; i < n; i++ {
+			items := make([]item.Item, len(names))
+			for j, nm := range names {
+				items[j] = id(nm)
+			}
+			db.Append(txdb.Transaction{TID: int64(db.Count() + 1), Items: item.New(items...)})
+		}
+	}
+	add(75, "bryers", "evian")
+	add(125, "bryers")
+	add(42, "healthychoice", "evian")
+	add(25, "healthychoice", "perrier")
+	add(33, "healthychoice")
+	add(3, "evian")
+	add(55, "perrier")
+	add(642) // empty fillers to reach 1,000 transactions
+	return tax, db, nil
+}
+
+// ExampleReport holds the worked-example outputs corresponding to the
+// paper's Tables 1 and 2.
+type ExampleReport struct {
+	Tax    *taxonomy.Taxonomy
+	Result *negative.Result
+	// Supports is Table 1: item/category → absolute support.
+	Supports []item.CountedSet
+	// Pairs is Table 2: candidate negative itemsets with expected and
+	// actual support (absolute, out of N).
+	Pairs []negative.Itemset
+	N     int
+}
+
+// RunPaperExample mines the worked example with the paper's parameters
+// (MinSup 4,000 of 100,000 → 0.04; MinRI 0.5).
+func RunPaperExample() (*ExampleReport, error) {
+	tax, db, err := PaperExample()
+	if err != nil {
+		return nil, err
+	}
+	res, err := negative.Mine(db, tax, negative.Options{
+		MinSupport: 0.04,
+		MinRI:      0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ExampleReport{Tax: tax, Result: res, Pairs: res.Negatives, N: db.Count()}
+	for _, name := range []string{"bryers", "healthychoice", "evian", "perrier",
+		"frozenyogurt", "bottledwater"} {
+		id, _ := tax.Dictionary().Lookup(name)
+		c, _ := res.Large.Table.Count(item.New(id))
+		rep.Supports = append(rep.Supports, item.CountedSet{Set: item.New(id), Count: c})
+	}
+	fy, _ := tax.Dictionary().Lookup("frozenyogurt")
+	bw, _ := tax.Dictionary().Lookup("bottledwater")
+	c, _ := res.Large.Table.Count(item.New(fy, bw))
+	rep.Supports = append(rep.Supports, item.CountedSet{Set: item.New(fy, bw), Count: c})
+	return rep, nil
+}
+
+// Print renders the worked example in the layout of Tables 1 and 2 plus the
+// resulting rules.
+func (r *ExampleReport) Print(w io.Writer) {
+	name := r.Tax.Name
+	fmt.Fprintln(w, "Table 1 — supports (×100 vs the paper's 100,000-transaction scale):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, cs := range r.Supports {
+		fmt.Fprintf(tw, "  %s\t%d\n", cs.Set.Format(name), cs.Count)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nTable 2 — negative itemsets (expected vs actual):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  itemset\texpected\tactual")
+	pairs := append([]negative.Itemset(nil), r.Pairs...)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Set.Compare(pairs[j].Set) < 0 })
+	for _, p := range pairs {
+		fmt.Fprintf(tw, "  %s\t%.0f\t%d\n", p.Set.Format(name), p.Expected*float64(p.N), p.Count)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nNegative rules (MinSup 4%, MinRI 0.5):")
+	for _, rule := range r.Result.Rules {
+		fmt.Fprintf(w, "  %s\n", rule.Format(name))
+	}
+}

@@ -1,0 +1,105 @@
+// Package count is the support-counting engine shared by every mining
+// algorithm in the library (Apriori, the generalized miners, the Partition
+// algorithm and the negative-itemset pass). It pairs the hash tree with a
+// transaction transform hook (e.g. extending a transaction with its
+// taxonomy ancestors) and optional parallel sharded scans.
+package count
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+// Options controls a counting pass.
+type Options struct {
+	// Parallelism is the number of concurrent scan workers. Values < 2 (or
+	// a database that cannot shard) select a single sequential scan.
+	Parallelism int
+	// MaxLeaf is the hash tree leaf capacity (0 = default).
+	MaxLeaf int
+	// Transform, if non-nil, maps each transaction's itemset before
+	// counting (the Cumulate ancestor extension, a filter, ...). It must be
+	// safe for concurrent calls when Parallelism > 1.
+	Transform func(item.Itemset) item.Itemset
+}
+
+// Auto selects runtime.NumCPU() workers.
+func Auto() int { return runtime.NumCPU() }
+
+// Candidates counts, for every candidate (all of equal size), the number of
+// transactions in db whose (transformed) itemset contains it. The result is
+// indexed like cands.
+func Candidates(db txdb.DB, cands []item.Itemset, opt Options) ([]int, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	res, err := Multi(db, [][]item.Itemset{cands}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+func transform(opt Options, s item.Itemset) item.Itemset {
+	if opt.Transform == nil {
+		return s
+	}
+	return opt.Transform(s)
+}
+
+// Singletons counts every distinct item appearing in db's (transformed)
+// transactions. Unlike Candidates it needs no candidate list: it is the L1
+// pass of every Apriori-family algorithm.
+func Singletons(db txdb.DB, opt Options) (*item.Counter, error) {
+	sharder, canShard := db.(txdb.Sharder)
+	workers := opt.Parallelism
+	if workers < 2 || !canShard {
+		c := item.NewCounter()
+		err := db.Scan(func(tx txdb.Transaction) error {
+			addSingles(c, transform(opt, tx.Items))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	counters := make([]*item.Counter, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := item.NewCounter()
+			counters[w] = c
+			errs[w] = sharder.ScanShard(w, workers, func(tx txdb.Transaction) error {
+				addSingles(c, transform(opt, tx.Items))
+				return nil
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("count: worker %d: %w", w, err)
+		}
+	}
+	total := counters[0]
+	for _, c := range counters[1:] {
+		total.Merge(c)
+	}
+	return total, nil
+}
+
+func addSingles(c *item.Counter, s item.Itemset) {
+	var buf [1]item.Item
+	for _, x := range s {
+		buf[0] = x
+		c.Add(buf[:], 1)
+	}
+}

@@ -1,0 +1,133 @@
+package count
+
+import (
+	"fmt"
+	"sync"
+
+	"negmine/internal/hashtree"
+	"negmine/internal/item"
+	"negmine/internal/stats"
+	"negmine/internal/txdb"
+)
+
+// Multi counts several candidate groups — each group of uniform itemset
+// size, sizes may differ across groups — in a single scan of db. This is the
+// primitive behind the paper's improved negative algorithm (candidates of
+// all sizes counted in one pass, §2.2) and behind EstMerge's merged passes.
+// The result is indexed [group][candidate].
+func Multi(db txdb.DB, groups [][]item.Itemset, opt Options) ([][]int, error) {
+	return MultiTransformed(db, groups, nil, opt)
+}
+
+// MultiTransformed is Multi with an optional per-group transaction
+// transform. A narrower transform per group (e.g. extending a transaction
+// only with the ancestors relevant to that group's candidates) keeps each
+// hash tree's probe width as small as a dedicated pass would, while still
+// paying for only one scan. transforms may be nil (use opt.Transform for
+// every group); individual entries may be nil too.
+func MultiTransformed(db txdb.DB, groups [][]item.Itemset, transforms []func(item.Itemset) item.Itemset, opt Options) ([][]int, error) {
+	if transforms != nil && len(transforms) != len(groups) {
+		return nil, fmt.Errorf("count: %d transforms for %d groups", len(transforms), len(groups))
+	}
+	trees := make([]*hashtree.Tree, len(groups))
+	for g, cands := range groups {
+		t, err := hashtree.Build(cands, opt.MaxLeaf)
+		if err != nil {
+			return nil, fmt.Errorf("count: group %d: %w", g, err)
+		}
+		trees[g] = t
+	}
+	groupTransform := func(g int, s item.Itemset) item.Itemset {
+		if transforms != nil && transforms[g] != nil {
+			return transforms[g](s)
+		}
+		return transform(opt, s)
+	}
+	newCounters := func() []*hashtree.Counter {
+		cs := make([]*hashtree.Counter, len(trees))
+		for i, t := range trees {
+			cs[i] = t.NewCounter()
+		}
+		return cs
+	}
+	addAll := func(cs []*hashtree.Counter, raw item.Itemset) {
+		for g, c := range cs {
+			c.Add(groupTransform(g, raw))
+		}
+	}
+
+	sharder, canShard := db.(txdb.Sharder)
+	workers := opt.Parallelism
+	if workers < 2 || !canShard {
+		cs := newCounters()
+		err := db.Scan(func(tx txdb.Transaction) error {
+			addAll(cs, tx.Items)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return collect(cs), nil
+	}
+
+	all := make([][]*hashtree.Counter, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cs := newCounters()
+			all[w] = cs
+			errs[w] = sharder.ScanShard(w, workers, func(tx txdb.Transaction) error {
+				addAll(cs, tx.Items)
+				return nil
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("count: worker %d: %w", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		for g := range trees {
+			all[0][g].Merge(all[w][g])
+		}
+	}
+	return collect(all[0]), nil
+}
+
+func collect(cs []*hashtree.Counter) [][]int {
+	out := make([][]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.Counts()
+	}
+	return out
+}
+
+// Sample draws a uniform random sample of up to n transactions from db via
+// reservoir sampling (one pass). Itemsets are cloned, so the sample is
+// independent of scan buffers.
+func Sample(db txdb.DB, n int, seed int64) (*txdb.MemDB, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("count: sample size %d, want > 0", n)
+	}
+	src := stats.NewSource(seed)
+	reservoir := make([]txdb.Transaction, 0, n)
+	i := 0
+	err := db.Scan(func(tx txdb.Transaction) error {
+		if len(reservoir) < n {
+			reservoir = append(reservoir, txdb.Transaction{TID: tx.TID, Items: tx.Items.Clone()})
+		} else if j := src.Intn(i + 1); j < n {
+			reservoir[j] = txdb.Transaction{TID: tx.TID, Items: tx.Items.Clone()}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return txdb.NewMemDB(reservoir)
+}

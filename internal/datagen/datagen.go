@@ -1,0 +1,250 @@
+// Package datagen implements the paper's synthetic retail data generator
+// (§3.1): the Quest-style generator of Agrawal–Srikant extended with an
+// item taxonomy and a nested-logit model of consumer choice — a shopper
+// first picks a cluster of categories (weighted), then one of the cluster's
+// potentially-large itemsets (weighted), and buys a corrupted subset of its
+// leaf items.
+//
+// All randomness flows from a single seed, so a Params value identifies a
+// dataset bit-for-bit.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"negmine/internal/item"
+	"negmine/internal/stats"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// Params mirrors the paper's Table 3.
+type Params struct {
+	NumTransactions       int     // |D|: number of transactions
+	AvgTxLen              float64 // |T|: average transaction size
+	AvgClusterSize        float64 // |C|: average size of potentially large clusters
+	AvgItemsetSize        float64 // |I|: average size of potentially large itemsets
+	AvgItemsetsPerCluster float64 // |S|: average number of itemsets per cluster
+	NumClusters           int     // |L|: number of potentially large clusters
+	NumItems              int     // N: number of (leaf) items
+	Roots                 int     // R: number of taxonomy roots
+	Fanout                float64 // F: average taxonomy fanout
+
+	// CorruptionMean/StdDev parameterize the per-itemset corruption level
+	// (paper: normal with mean 0.5 and variance 0.1, i.e. stddev √0.1).
+	CorruptionMean   float64
+	CorruptionStdDev float64
+
+	Seed int64
+}
+
+// Short returns the paper's "Short" dataset parameters (wide, shallow
+// taxonomy: fanout 9). |T| and R are not legible in the paper's Table 4; we
+// use |T| = 10 (the Quest default) and R = 100, which reproduces the
+// paper's shape: ~2 category levels over 8,000 leaves.
+func Short() Params {
+	return Params{
+		NumTransactions:       50000,
+		AvgTxLen:              10,
+		AvgClusterSize:        5,
+		AvgItemsetSize:        5,
+		AvgItemsetsPerCluster: 3,
+		NumClusters:           2000,
+		NumItems:              8000,
+		Roots:                 100,
+		Fanout:                9,
+		CorruptionMean:        0.5,
+		CorruptionStdDev:      math.Sqrt(0.1),
+		Seed:                  1,
+	}
+}
+
+// Tall returns the paper's "Tall" dataset parameters (narrow, deep
+// taxonomy: fanout 3, ~6 category levels). See Short for the |T|/R note.
+func Tall() Params {
+	p := Short()
+	p.Fanout = 3
+	p.Roots = 25
+	return p
+}
+
+// Scaled shrinks a parameter set by factor (≥ 1) for laptop-scale tests and
+// benchmarks, keeping the proportions of the original.
+func Scaled(p Params, factor int) Params {
+	if factor <= 1 {
+		return p
+	}
+	p.NumTransactions /= factor
+	p.NumItems /= factor
+	p.NumClusters /= factor
+	if p.NumItems < 50 {
+		p.NumItems = 50
+	}
+	if p.NumClusters < 10 {
+		p.NumClusters = 10
+	}
+	if p.Roots > p.NumItems/10 {
+		p.Roots = p.NumItems / 10
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.NumTransactions < 0:
+		return fmt.Errorf("datagen: NumTransactions = %d", p.NumTransactions)
+	case p.AvgTxLen <= 0:
+		return fmt.Errorf("datagen: AvgTxLen = %v, want > 0", p.AvgTxLen)
+	case p.AvgClusterSize < 1:
+		return fmt.Errorf("datagen: AvgClusterSize = %v, want ≥ 1", p.AvgClusterSize)
+	case p.AvgItemsetSize < 1:
+		return fmt.Errorf("datagen: AvgItemsetSize = %v, want ≥ 1", p.AvgItemsetSize)
+	case p.AvgItemsetsPerCluster < 1:
+		return fmt.Errorf("datagen: AvgItemsetsPerCluster = %v, want ≥ 1", p.AvgItemsetsPerCluster)
+	case p.NumClusters < 1:
+		return fmt.Errorf("datagen: NumClusters = %d, want ≥ 1", p.NumClusters)
+	case p.NumItems < 2:
+		return fmt.Errorf("datagen: NumItems = %d, want ≥ 2", p.NumItems)
+	case p.Roots < 1:
+		return fmt.Errorf("datagen: Roots = %d, want ≥ 1", p.Roots)
+	case p.Fanout < 2:
+		return fmt.Errorf("datagen: Fanout = %v, want ≥ 2", p.Fanout)
+	case p.CorruptionMean < 0 || p.CorruptionMean >= 1:
+		return fmt.Errorf("datagen: CorruptionMean = %v, want [0, 1)", p.CorruptionMean)
+	case p.CorruptionStdDev < 0:
+		return fmt.Errorf("datagen: CorruptionStdDev = %v, want ≥ 0", p.CorruptionStdDev)
+	}
+	return nil
+}
+
+// model is the generator's frozen random structure: the clusters and their
+// potentially large itemsets.
+type model struct {
+	clusterChoice *stats.WeightedChoice
+	clusters      []cluster
+}
+
+type cluster struct {
+	itemsets []item.Itemset
+	choice   *stats.WeightedChoice
+}
+
+// Generate builds the taxonomy and the transaction database.
+func Generate(p Params) (*taxonomy.Taxonomy, *txdb.MemDB, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	src := stats.NewSource(p.Seed)
+	tax, err := taxonomy.Generate(taxonomy.GenSpec{
+		Leaves: p.NumItems,
+		Roots:  p.Roots,
+		Fanout: p.Fanout,
+	}, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := buildModel(p, tax, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := &txdb.MemDB{}
+	for i := 0; i < p.NumTransactions; i++ {
+		db.Append(txdb.Transaction{TID: int64(i + 1), Items: m.transaction(p, src)})
+	}
+	return tax, db, nil
+}
+
+// buildModel creates the potentially-large clusters and itemsets (paper
+// §3.1, second and third paragraphs).
+func buildModel(p Params, tax *taxonomy.Taxonomy, src *stats.Source) (*model, error) {
+	// Clusters draw from the categories one level above the leaves.
+	leafParents := leafParentCategories(tax)
+	if len(leafParents) == 0 {
+		return nil, fmt.Errorf("datagen: taxonomy has no categories")
+	}
+	m := &model{clusters: make([]cluster, p.NumClusters)}
+	clusterWeights := make([]float64, p.NumClusters)
+	for ci := range m.clusters {
+		clusterWeights[ci] = src.Exp(1)
+		size := src.PoissonAtLeast(p.AvgClusterSize, 1)
+		if size > len(leafParents) {
+			size = len(leafParents)
+		}
+		cats := sampleWithoutReplacement(leafParents, size, src)
+		// Pool of leaf items under the cluster's categories.
+		var pool []item.Item
+		for _, c := range cats {
+			pool = append(pool, tax.Children(c)...)
+		}
+		nSets := src.PoissonAtLeast(p.AvgItemsetsPerCluster, 1)
+		cl := cluster{itemsets: make([]item.Itemset, 0, nSets)}
+		weights := make([]float64, 0, nSets)
+		for s := 0; s < nSets; s++ {
+			size := src.PoissonAtLeast(p.AvgItemsetSize, 1)
+			if size > len(pool) {
+				size = len(pool)
+			}
+			cl.itemsets = append(cl.itemsets, item.New(sampleWithoutReplacement(pool, size, src)...))
+			weights = append(weights, src.Exp(1))
+		}
+		stats.Normalize(weights)
+		cl.choice = stats.NewWeightedChoice(weights)
+		m.clusters[ci] = cl
+	}
+	stats.Normalize(clusterWeights)
+	m.clusterChoice = stats.NewWeightedChoice(clusterWeights)
+	return m, nil
+}
+
+// transaction emits one basket: pick clusters (the shopper's category
+// decision) and itemsets (the brand decision) until the Poisson target
+// length is reached, corrupting each picked itemset.
+func (m *model) transaction(p Params, src *stats.Source) item.Itemset {
+	target := src.PoissonAtLeast(p.AvgTxLen, 1)
+	var items []item.Item
+	for len(items) < target {
+		cl := &m.clusters[m.clusterChoice.Sample(src)]
+		set := cl.itemsets[cl.choice.Sample(src)]
+		// Corruption: drop trailing items while uniform < c (paper §3.1).
+		c := src.Normal(p.CorruptionMean, p.CorruptionStdDev)
+		keep := set.Len()
+		for keep > 0 && src.Float64() < c {
+			keep--
+		}
+		items = append(items, set[:keep]...)
+	}
+	return item.New(items...)
+}
+
+// leafParentCategories returns the distinct parents of leaf items.
+func leafParentCategories(tax *taxonomy.Taxonomy) []item.Item {
+	seen := map[item.Item]struct{}{}
+	var out []item.Item
+	for _, l := range tax.Leaves() {
+		p := tax.Parent(l)
+		if p == item.None {
+			continue
+		}
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sampleWithoutReplacement draws n distinct elements from pool (partial
+// Fisher–Yates on a copy).
+func sampleWithoutReplacement(pool []item.Item, n int, src *stats.Source) []item.Item {
+	cp := make([]item.Item, len(pool))
+	copy(cp, pool)
+	if n > len(cp) {
+		n = len(cp)
+	}
+	for i := 0; i < n; i++ {
+		j := i + src.Intn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:n]
+}

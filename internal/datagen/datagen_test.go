@@ -1,0 +1,225 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"negmine/internal/apriori"
+	"negmine/internal/item"
+	"negmine/internal/stats"
+	"negmine/internal/txdb"
+)
+
+// tiny returns laptop-instant parameters with the paper's proportions.
+func tiny(seed int64) Params {
+	p := Scaled(Short(), 100)
+	p.Seed = seed
+	return p
+}
+
+func TestGenerateBasics(t *testing.T) {
+	p := tiny(1)
+	tax, db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != p.NumTransactions {
+		t.Errorf("transactions = %d, want %d", db.Count(), p.NumTransactions)
+	}
+	if got := tax.Leaves().Len(); got != p.NumItems {
+		t.Errorf("leaves = %d, want %d", got, p.NumItems)
+	}
+	// Every transaction item must be a taxonomy leaf.
+	leaves := tax.Leaves()
+	err = db.Scan(func(tx txdb.Transaction) error {
+		for _, x := range tx.Items {
+			if !leaves.Contains(x) {
+				t.Fatalf("transaction %d contains non-leaf %v (%s)", tx.TID, x, tax.Name(x))
+			}
+		}
+		if err := tx.Items.Validate(); err != nil {
+			t.Fatalf("transaction %d: %v", tx.TID, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageTransactionLength(t *testing.T) {
+	p := tiny(2)
+	p.NumTransactions = 2000
+	_, db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := txdb.Collect(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corruption + dedup shave a little off; allow a generous band around
+	// the Poisson target.
+	if st.AvgLen < p.AvgTxLen*0.7 || st.AvgLen > p.AvgTxLen*1.6 {
+		t.Errorf("average length = %v, target %v", st.AvgLen, p.AvgTxLen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a1, d1, err := Generate(tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, d2, err := Generate(tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Size() != a2.Size() {
+		t.Fatal("taxonomies differ in size")
+	}
+	if d1.Count() != d2.Count() {
+		t.Fatal("databases differ in size")
+	}
+	for i := range d1.Transactions() {
+		if !d1.Transactions()[i].Items.Equal(d2.Transactions()[i].Items) {
+			t.Fatalf("transaction %d differs", i)
+		}
+	}
+	_, d3, err := Generate(tiny(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range d1.Transactions() {
+		if d1.Transactions()[i].Items.Equal(d3.Transactions()[i].Items) {
+			same++
+		}
+	}
+	if same == d1.Count() {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestClusterStructureCreatesSkew(t *testing.T) {
+	// The nested-logit model must produce strongly non-uniform pair
+	// supports: the most frequent pair should dwarf the uniform baseline
+	// (that skew is what makes association mining meaningful).
+	p := tiny(3)
+	p.NumTransactions = 1500
+	_, db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := apriori.Mine(db, apriori.Options{MinSupport: 0.01, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) < 2 || len(res.Levels[1]) == 0 {
+		t.Fatal("no frequent pairs at 1% support — generator produced noise")
+	}
+	best := 0
+	for _, cs := range res.Levels[1] {
+		if cs.Count > best {
+			best = cs.Count
+		}
+	}
+	st, _ := txdb.Collect(db)
+	// Uniform baseline: with N items and avg length L, a specific pair's
+	// expected support ≈ D·(L/N)². The generated skew must beat it by ≥10×.
+	uniform := float64(db.Count()) * math.Pow(st.AvgLen/float64(p.NumItems), 2)
+	if float64(best) < 10*uniform {
+		t.Errorf("best pair count %d not skewed vs uniform baseline %.2f", best, uniform)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Scaled(Short(), 10)
+	if p.NumTransactions != 5000 || p.NumItems != 800 || p.NumClusters != 200 {
+		t.Errorf("Scaled = %+v", p)
+	}
+	if got := Scaled(Short(), 1); got != Short() {
+		t.Error("factor 1 should be identity")
+	}
+	// Extreme factors clamp to usable minimums.
+	p = Scaled(Short(), 1000)
+	if p.NumItems < 50 || p.NumClusters < 10 || p.Roots > p.NumItems/10 {
+		t.Errorf("extreme Scaled = %+v", p)
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	s, tl := Short(), Tall()
+	if s.Fanout != 9 || tl.Fanout != 3 {
+		t.Error("preset fanouts wrong")
+	}
+	if s.NumItems != tl.NumItems || s.NumTransactions != tl.NumTransactions {
+		t.Error("Short and Tall must differ only in taxonomy shape")
+	}
+	// Tall taxonomy must be deeper than Short for the same leaves.
+	ps, pt := Scaled(s, 10), Scaled(tl, 10)
+	ps.NumTransactions, pt.NumTransactions = 200, 200 // taxonomy shape is what matters here
+	ps.Seed, pt.Seed = 5, 5
+	ts, _, err := Generate(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, _, err := Generate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Height() <= ts.Height() {
+		t.Errorf("tall height %d ≤ short height %d", tt.Height(), ts.Height())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.NumTransactions = -1 },
+		func(p *Params) { p.AvgTxLen = 0 },
+		func(p *Params) { p.AvgClusterSize = 0 },
+		func(p *Params) { p.AvgItemsetSize = 0.5 },
+		func(p *Params) { p.AvgItemsetsPerCluster = 0 },
+		func(p *Params) { p.NumClusters = 0 },
+		func(p *Params) { p.NumItems = 1 },
+		func(p *Params) { p.Roots = 0 },
+		func(p *Params) { p.Fanout = 1 },
+		func(p *Params) { p.CorruptionMean = 1 },
+		func(p *Params) { p.CorruptionMean = -0.2 },
+		func(p *Params) { p.CorruptionStdDev = -1 },
+	}
+	for i, mutate := range bad {
+		p := tiny(1)
+		mutate(&p)
+		if _, _, err := Generate(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	pool := []item.Item{1, 2, 3, 4, 5}
+	src := newTestSource()
+	got := sampleWithoutReplacement(pool, 3, src)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[item.Item]bool{}
+	for _, x := range got {
+		if seen[x] {
+			t.Fatalf("duplicate %v", x)
+		}
+		seen[x] = true
+	}
+	// Oversized request clamps.
+	if got := sampleWithoutReplacement(pool, 10, src); len(got) != 5 {
+		t.Errorf("clamped len = %d", len(got))
+	}
+	// The pool itself must not be reordered.
+	for i, x := range pool {
+		if x != item.Item(i+1) {
+			t.Error("pool mutated")
+		}
+	}
+}
+
+func newTestSource() *stats.Source { return stats.NewSource(11) }

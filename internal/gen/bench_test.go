@@ -1,0 +1,65 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"negmine/internal/count"
+	"negmine/internal/item"
+)
+
+func BenchmarkAlgorithms(b *testing.B) {
+	tax, db := randomTaxDB(99, 60, 2500, 8)
+	for _, alg := range []Algorithm{Basic, Cumulate, EstMerge} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{MinSupport: 0.03, Algorithm: alg, MaxK: 3, SampleSize: 500}
+				if _, err := Mine(db, tax, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCumulateParallelism(b *testing.B) {
+	tax, db := randomTaxDB(98, 60, 4000, 8)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{MinSupport: 0.03, Algorithm: Cumulate, MaxK: 3}
+				opt.Count = count.Options{Parallelism: workers}
+				if _, err := Mine(db, tax, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransforms isolates the per-transaction ancestor-extension cost:
+// Basic's parent-chain walk vs Cumulate's cached closure.
+func BenchmarkTransforms(b *testing.B) {
+	tax, db := randomTaxDB(97, 120, 500, 8)
+	txs := db.Transactions()
+	basic := basicTransform(tax)
+	all := map[item.Item]struct{}{}
+	for x := 0; x < tax.Size(); x++ {
+		all[item.Item(x)] = struct{}{}
+	}
+	cum := cumulateTransform(tax, all)
+	b.Run("basic-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tx := range txs {
+				basic(tx.Items)
+			}
+		}
+	})
+	b.Run("cumulate-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tx := range txs {
+				cum(tx.Items)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package gen
+
+import (
+	"sort"
+
+	"negmine/internal/apriori"
+	"negmine/internal/count"
+	"negmine/internal/item"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// defaultSampleSize is EstMerge's sample size when Options.SampleSize is 0.
+const defaultSampleSize = 1000
+
+// defaultMargin is EstMerge's estimation slack when Options.Margin is 0.
+const defaultMargin = 0.25
+
+// mineEstMerge implements the EstMerge strategy. Candidate supports are
+// first estimated on a reservoir sample; candidates expected (close to)
+// large are counted exactly in the current pass, the rest are deferred and
+// counted together with the next level's pass. Because estimates can be
+// wrong in either direction, deferred candidates that turn out large
+// trigger an exact "repair" pass for the extensions they should have
+// spawned — so the mined result is always exactly the Basic/Cumulate
+// result; only the pass schedule differs.
+func mineEstMerge(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*apriori.Result, error) {
+	n := db.Count()
+	res := &apriori.Result{
+		Table:    item.NewSupportTable(n),
+		N:        n,
+		MinCount: apriori.MinCount(opt.MinSupport, n),
+	}
+	prev, err := mineL1(db, tax, opt, res)
+	if err != nil || prev == nil {
+		return res, err
+	}
+
+	sampleSize := opt.SampleSize
+	if sampleSize == 0 {
+		sampleSize = defaultSampleSize
+	}
+	margin := opt.Margin
+	if margin == 0 {
+		margin = defaultMargin
+	}
+	sample, err := count.Sample(db, sampleSize, opt.SampleSeed)
+	if err != nil {
+		return nil, err
+	}
+	m := sample.Count()
+	// A sample count at or above this is "expected large".
+	estThreshold := int(opt.MinSupport * (1 - margin) * float64(m))
+
+	// levels[k] accumulates L_k (1-based); late arrivals from deferred
+	// resolution are merged in after the fact.
+	levels := map[int][]item.CountedSet{1: res.Levels[0]}
+	maxLevel := 1
+	addLarge := func(k int, cs item.CountedSet) {
+		levels[k] = append(levels[k], cs)
+		res.Table.Put(cs.Set, cs.Count)
+		if k > maxLevel {
+			maxLevel = k
+		}
+	}
+	sortedSets := func(k int) []item.Itemset {
+		lvl := levels[k]
+		sort.Slice(lvl, func(i, j int) bool { return lvl[i].Set.Compare(lvl[j].Set) < 0 })
+		levels[k] = lvl
+		sets := make([]item.Itemset, len(lvl))
+		for i, cs := range lvl {
+			sets[i] = cs.Set
+		}
+		return sets
+	}
+
+	var deferred []item.Itemset // size k-1, generated but not yet exactly counted
+	for k := 2; opt.MaxK == 0 || k <= opt.MaxK; k++ {
+		cands := genLevel(prev, tax, k)
+		if len(cands) == 0 && len(deferred) == 0 {
+			break
+		}
+
+		// Estimate this level's candidates on the sample.
+		var expLarge, expSmall []item.Itemset
+		if len(cands) > 0 {
+			cnt := opt.Count
+			cnt.Transform = transformFor(Cumulate, tax, cands)
+			est, err := count.Candidates(sample, cands, cnt)
+			if err != nil {
+				return nil, err
+			}
+			for i, c := range cands {
+				if est[i] >= estThreshold {
+					expLarge = append(expLarge, c)
+				} else {
+					expSmall = append(expSmall, c)
+				}
+			}
+		}
+
+		// One exact pass: expected-large k-candidates merged with the
+		// deferred (k-1)-candidates from the previous level.
+		var expCounts, defCounts []int
+		if len(expLarge)+len(deferred) > 0 {
+			cnt := opt.Count
+			cnt.Transform = transformFor(opt.Algorithm, tax, expLarge, deferred)
+			counts, err := count.Multi(db, [][]item.Itemset{expLarge, deferred}, cnt)
+			if err != nil {
+				return nil, err
+			}
+			expCounts, defCounts = counts[0], counts[1]
+		}
+
+		// Resolve deferred candidates: estimation false-negatives are
+		// late-arriving large (k-1)-itemsets.
+		late := false
+		for i, d := range deferred {
+			if defCounts[i] >= res.MinCount {
+				addLarge(k-1, item.CountedSet{Set: d, Count: defCounts[i]})
+				late = true
+			}
+		}
+
+		for i, c := range expLarge {
+			if expCounts[i] >= res.MinCount {
+				addLarge(k, item.CountedSet{Set: c, Count: expCounts[i]})
+			}
+		}
+
+		// Repair: with the complete L_{k-1} now known, regenerate C_k and
+		// exactly count any candidate we never saw (extensions of the late
+		// itemsets). This is the price of a bad estimate; with a sound
+		// sample it is rare.
+		if late {
+			known := make(map[item.Key]struct{}, len(cands))
+			for _, c := range cands {
+				known[c.Key()] = struct{}{}
+			}
+			var missing []item.Itemset
+			for _, c := range genLevel(sortedSets(k-1), tax, k) {
+				if _, ok := known[c.Key()]; !ok {
+					missing = append(missing, c)
+				}
+			}
+			if len(missing) > 0 {
+				cnt := opt.Count
+				cnt.Transform = transformFor(opt.Algorithm, tax, missing)
+				counts, err := count.Candidates(db, missing, cnt)
+				if err != nil {
+					return nil, err
+				}
+				for i, c := range missing {
+					if counts[i] >= res.MinCount {
+						addLarge(k, item.CountedSet{Set: c, Count: counts[i]})
+					}
+				}
+			}
+		}
+
+		prev = sortedSets(k)
+		deferred = expSmall
+		if len(prev) == 0 && len(deferred) == 0 {
+			break
+		}
+	}
+
+	// MaxK can leave deferred candidates unresolved; count them so the
+	// result is exact up to MaxK.
+	if len(deferred) > 0 && opt.MaxK != 0 {
+		k := deferred[0].Len()
+		if k <= opt.MaxK {
+			cnt := opt.Count
+			cnt.Transform = transformFor(opt.Algorithm, tax, deferred)
+			counts, err := count.Candidates(db, deferred, cnt)
+			if err != nil {
+				return nil, err
+			}
+			for i, d := range deferred {
+				if counts[i] >= res.MinCount {
+					addLarge(k, item.CountedSet{Set: d, Count: counts[i]})
+				}
+			}
+		}
+	}
+
+	// Materialize contiguous levels (L1 is already in res.Levels[0]).
+	res.Levels = res.Levels[:0]
+	for k := 1; k <= maxLevel; k++ {
+		lvl := levels[k]
+		if len(lvl) == 0 {
+			break
+		}
+		sort.Slice(lvl, func(i, j int) bool { return lvl[i].Set.Compare(lvl[j].Set) < 0 })
+		res.Levels = append(res.Levels, lvl)
+	}
+	return res, nil
+}

@@ -1,0 +1,361 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"negmine/internal/apriori"
+	"negmine/internal/count"
+	"negmine/internal/item"
+	"negmine/internal/stats"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// grocery builds a small two-level taxonomy:
+//
+//	drinks(coke pepsi)  snacks(chips salsa)
+func grocery(t testing.TB) (*taxonomy.Taxonomy, map[string]item.Item) {
+	t.Helper()
+	b := taxonomy.NewBuilder()
+	for _, e := range [][2]string{
+		{"drinks", "coke"}, {"drinks", "pepsi"},
+		{"snacks", "chips"}, {"snacks", "salsa"},
+	} {
+		b.Link(e[0], e[1])
+	}
+	tax, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]item.Item{}
+	for _, n := range []string{"drinks", "coke", "pepsi", "snacks", "chips", "salsa"} {
+		ids[n], _ = tax.Dictionary().Lookup(n)
+	}
+	return tax, ids
+}
+
+func groceryDB(ids map[string]item.Item) *txdb.MemDB {
+	return txdb.FromItemsets(
+		[]item.Item{ids["coke"], ids["chips"]},
+		[]item.Item{ids["pepsi"], ids["chips"]},
+		[]item.Item{ids["coke"], ids["salsa"]},
+		[]item.Item{ids["pepsi"]},
+	)
+}
+
+func TestCategorySupport(t *testing.T) {
+	tax, ids := grocery(t)
+	db := groceryDB(ids)
+	res, err := Mine(db, tax, Options{MinSupport: 0.5, Algorithm: Cumulate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// drinks appears in all 4 transactions, snacks in 3.
+	checks := []struct {
+		set  item.Itemset
+		want int
+	}{
+		{item.New(ids["drinks"]), 4},
+		{item.New(ids["snacks"]), 3},
+		{item.New(ids["coke"]), 2},
+		{item.New(ids["pepsi"]), 2},
+		{item.New(ids["chips"]), 2},
+		{item.New(ids["drinks"], ids["snacks"]), 3},
+		{item.New(ids["drinks"], ids["chips"]), 2},
+	}
+	for _, c := range checks {
+		got, ok := res.Table.Count(c.set)
+		if !ok || got != c.want {
+			t.Errorf("support(%v) = %d (found=%v), want %d", c.set, got, ok, c.want)
+		}
+	}
+	// {coke, drinks} pairs an item with its ancestor: must be pruned.
+	if res.Table.Contains(item.New(ids["coke"], ids["drinks"])) {
+		t.Error("item+ancestor pair was not pruned")
+	}
+}
+
+func TestGenLevelAncestorPrune(t *testing.T) {
+	tax, ids := grocery(t)
+	prev := []item.Itemset{
+		item.New(ids["drinks"]), item.New(ids["coke"]), item.New(ids["chips"]),
+	}
+	// apriori.Gen needs sorted input.
+	sortSets(prev)
+	cands := genLevel(prev, tax, 2)
+	for _, c := range cands {
+		if tax.IsAncestor(c[0], c[1]) || tax.IsAncestor(c[1], c[0]) {
+			t.Errorf("candidate %v contains an ancestor pair", c)
+		}
+	}
+	if len(cands) != 2 { // {drinks,chips}, {coke,chips}
+		t.Errorf("candidates = %v, want 2", cands)
+	}
+}
+
+func sortSets(sets []item.Itemset) {
+	for i := 1; i < len(sets); i++ {
+		for j := i; j > 0 && sets[j].Compare(sets[j-1]) < 0; j-- {
+			sets[j], sets[j-1] = sets[j-1], sets[j]
+		}
+	}
+}
+
+// randomTaxDB builds a random taxonomy and a leaf-only transaction database.
+func randomTaxDB(seed int64, leaves, nTx, maxLen int) (*taxonomy.Taxonomy, *txdb.MemDB) {
+	tax, err := taxonomy.Generate(taxonomy.GenSpec{Leaves: leaves, Roots: 3, Fanout: 3}, stats.NewSource(seed))
+	if err != nil {
+		panic(err)
+	}
+	r := rand.New(rand.NewSource(seed * 31))
+	db := &txdb.MemDB{}
+	lv := tax.Leaves()
+	for i := 0; i < nTx; i++ {
+		n := 1 + r.Intn(maxLen)
+		raw := make([]item.Item, n)
+		for j := range raw {
+			raw[j] = lv[r.Intn(len(lv))]
+		}
+		db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+	}
+	return tax, db
+}
+
+// bruteForceGeneralized is the oracle: extend every transaction with its
+// ancestors, count all subsets, drop small ones and ancestor-pair sets.
+func bruteForceGeneralized(tax *taxonomy.Taxonomy, db *txdb.MemDB, minCount int) map[item.Key]int {
+	counts := map[item.Key]int{}
+	db.Scan(func(tx txdb.Transaction) error {
+		ext := tax.Extend(tx.Items)
+		ext.AllSubsets(false, func(s item.Itemset) {
+			counts[s.Key()]++
+		})
+		return nil
+	})
+	for k, c := range counts {
+		if c < minCount {
+			delete(counts, k)
+			continue
+		}
+		s := k.Itemset()
+		drop := false
+		for i := 0; i < s.Len() && !drop; i++ {
+			for j := 0; j < s.Len() && !drop; j++ {
+				if i != j && tax.IsAncestor(s[i], s[j]) {
+					drop = true
+				}
+			}
+		}
+		if drop {
+			delete(counts, k)
+		}
+	}
+	return counts
+}
+
+func resultMap(res *apriori.Result) map[item.Key]int {
+	out := map[item.Key]int{}
+	for _, cs := range res.Large() {
+		out[cs.Set.Key()] = cs.Count
+	}
+	return out
+}
+
+func TestAlgorithmsAgreeWithBruteForce(t *testing.T) {
+	for _, alg := range []Algorithm{Basic, Cumulate, EstMerge} {
+		t.Run(alg.String(), func(t *testing.T) {
+			for trial := int64(1); trial <= 4; trial++ {
+				tax, db := randomTaxDB(trial, 20, 120, 4)
+				opt := Options{
+					MinSupport: 0.08,
+					Algorithm:  alg,
+					SampleSize: 40, // deliberately small: exercises repair passes
+					SampleSeed: trial,
+				}
+				res, err := Mine(db, tax, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteForceGeneralized(tax, db, res.MinCount)
+				got := resultMap(res)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: mined %d itemsets, want %d", trial, len(got), len(want))
+				}
+				for k, c := range want {
+					if got[k] != c {
+						t.Fatalf("trial %d: %v = %d, want %d", trial, k.Itemset(), got[k], c)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsIdenticalResults(t *testing.T) {
+	tax, db := randomTaxDB(9, 30, 300, 5)
+	var results []*apriori.Result
+	for _, alg := range []Algorithm{Basic, Cumulate, EstMerge} {
+		res, err := Mine(db, tax, Options{MinSupport: 0.05, Algorithm: alg, SampleSize: 64, SampleSeed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		results = append(results, res)
+	}
+	base := resultMap(results[0])
+	for i, res := range results[1:] {
+		m := resultMap(res)
+		if len(m) != len(base) {
+			t.Fatalf("algorithm %d: %d itemsets vs %d", i+1, len(m), len(base))
+		}
+		for k, c := range base {
+			if m[k] != c {
+				t.Fatalf("algorithm %d: %v = %d, want %d", i+1, k.Itemset(), m[k], c)
+			}
+		}
+	}
+}
+
+func TestEstMergePassSchedule(t *testing.T) {
+	// EstMerge with a perfect (full-size) sample must not use more full
+	// passes than Cumulate; with a tiny sample it may repair but stays exact.
+	tax, db := randomTaxDB(11, 25, 200, 5)
+	ins := txdb.Instrument(db)
+	_, err := Mine(ins, tax, Options{MinSupport: 0.05, Algorithm: Cumulate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cumulatePasses := ins.Passes()
+
+	ins.Reset()
+	_, err = Mine(ins, tax, Options{MinSupport: 0.05, Algorithm: EstMerge, SampleSize: 200, SampleSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtract the sampling scan itself (the sample is drawn from the
+	// instrumented db with one pass).
+	estPasses := ins.Passes() - 1
+	if estPasses > cumulatePasses+1 {
+		t.Errorf("EstMerge used %d passes vs Cumulate's %d", estPasses, cumulatePasses)
+	}
+}
+
+func TestMaxK(t *testing.T) {
+	tax, db := randomTaxDB(13, 20, 150, 5)
+	res, err := Mine(db, tax, Options{MinSupport: 0.05, MaxK: 2, Algorithm: Cumulate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) > 2 {
+		t.Errorf("MaxK=2 produced %d levels", len(res.Levels))
+	}
+	// EstMerge with MaxK must resolve deferred candidates of the last level.
+	resE, err := Mine(db, tax, Options{MinSupport: 0.05, MaxK: 2, Algorithm: EstMerge, SampleSize: 30, SampleSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := resultMap(res), resultMap(resE)
+	if len(a) != len(b) {
+		t.Fatalf("MaxK results differ in size: %d vs %d", len(a), len(b))
+	}
+	for k, c := range a {
+		if b[k] != c {
+			t.Fatalf("MaxK mismatch on %v: %d vs %d", k.Itemset(), b[k], c)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tax, _ := grocery(t)
+	db := txdb.FromItemsets([]item.Item{0})
+	bad := []Options{
+		{MinSupport: 0},
+		{MinSupport: 2},
+		{MinSupport: 0.5, MaxK: -1},
+		{MinSupport: 0.5, Margin: -0.1},
+		{MinSupport: 0.5, Margin: 1},
+		{MinSupport: 0.5, SampleSize: -5},
+		{MinSupport: 0.5, Count: count.Options{Transform: func(s item.Itemset) item.Itemset { return s }}},
+	}
+	for i, opt := range bad {
+		if _, err := Mine(db, tax, opt); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+	if _, err := Mine(db, nil, Options{MinSupport: 0.5}); err == nil {
+		t.Error("nil taxonomy accepted")
+	}
+	if _, err := Mine(db, tax, Options{MinSupport: 0.5, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Basic.String() != "Basic" || Cumulate.String() != "Cumulate" || EstMerge.String() != "EstMerge" {
+		t.Error("algorithm names wrong")
+	}
+	if Algorithm(42).String() != "Algorithm(42)" {
+		t.Errorf("unknown algorithm name: %s", Algorithm(42))
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	tax, _ := grocery(t)
+	for _, alg := range []Algorithm{Basic, Cumulate, EstMerge} {
+		res, err := Mine(txdb.FromItemsets(), tax, Options{MinSupport: 0.5, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Levels) != 0 {
+			t.Errorf("%v: empty db mined %d levels", alg, len(res.Levels))
+		}
+	}
+}
+
+func TestGeneralizedRules(t *testing.T) {
+	// End to end: generalized itemsets feed the standard rule generator,
+	// producing rules that mix taxonomy levels.
+	tax, ids := grocery(t)
+	db := groceryDB(ids)
+	res, err := Mine(db, tax, Options{MinSupport: 0.5, Algorithm: Cumulate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := apriori.GenRules(res, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.Equal(item.New(ids["snacks"])) && r.Consequent.Equal(item.New(ids["drinks"])) {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Errorf("snacks=>drinks confidence %v", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("missing generalized rule snacks=>drinks; got %v", rules)
+	}
+}
+
+func TestParallelGeneralized(t *testing.T) {
+	tax, db := randomTaxDB(17, 30, 400, 6)
+	seq, err := Mine(db, tax, Options{MinSupport: 0.04, Algorithm: Cumulate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(db, tax, Options{MinSupport: 0.04, Algorithm: Cumulate, Count: count.Options{Parallelism: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := resultMap(seq), resultMap(par)
+	if len(a) != len(b) {
+		t.Fatalf("parallel size %d vs %d", len(b), len(a))
+	}
+	for k, c := range a {
+		if b[k] != c {
+			t.Fatalf("parallel mismatch on %v", k.Itemset())
+		}
+	}
+}

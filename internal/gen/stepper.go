@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"negmine/internal/apriori"
+	"negmine/internal/count"
+	"negmine/internal/item"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// Stepper runs generalized level-wise mining one level at a time: each Next
+// call performs exactly one pass over the database and returns L_k. The
+// paper's Naive negative algorithm interleaves a negative-candidate pass
+// after each large-itemset pass, which requires this per-level control.
+//
+// Only Basic and Cumulate support stepping (EstMerge's merged pass schedule
+// spans levels by design).
+type Stepper struct {
+	db   txdb.DB
+	tax  *taxonomy.Taxonomy
+	opt  Options
+	res  *apriori.Result
+	prev []item.Itemset // sorted sets of the last mined level
+	k    int            // next level to mine
+	done bool
+}
+
+// NewStepper validates options and prepares a stepper. No database pass
+// happens until the first Next call.
+func NewStepper(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*Stepper, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if tax == nil {
+		return nil, fmt.Errorf("gen: nil taxonomy")
+	}
+	if opt.Algorithm == EstMerge {
+		return nil, fmt.Errorf("gen: EstMerge cannot run level-by-level; use Basic or Cumulate")
+	}
+	n := db.Count()
+	return &Stepper{
+		db:  db,
+		tax: tax,
+		opt: opt,
+		res: &apriori.Result{
+			Table:    item.NewSupportTable(n),
+			N:        n,
+			MinCount: apriori.MinCount(opt.MinSupport, n),
+		},
+		k: 1,
+	}, nil
+}
+
+// Next mines the next level with one database pass and returns it. It
+// returns (nil, nil) once no further level exists (or MaxK is reached).
+func (s *Stepper) Next() ([]item.CountedSet, error) {
+	if s.done {
+		return nil, nil
+	}
+	if s.k == 1 {
+		prev, err := mineL1(s.db, s.tax, s.opt, s.res)
+		if err != nil {
+			return nil, err
+		}
+		s.prev = prev
+		s.k = 2
+		if prev == nil {
+			s.done = true
+			return nil, nil
+		}
+		return s.res.Levels[0], nil
+	}
+	if s.opt.MaxK != 0 && s.k > s.opt.MaxK {
+		s.done = true
+		return nil, nil
+	}
+	cands := genLevel(s.prev, s.tax, s.k)
+	if len(cands) == 0 {
+		s.done = true
+		return nil, nil
+	}
+	cnt := s.opt.Count
+	cnt.Transform = transformFor(s.opt.Algorithm, s.tax, cands)
+	counts, err := count.Candidates(s.db, cands, cnt)
+	if err != nil {
+		return nil, err
+	}
+	var level []item.CountedSet
+	for i, c := range cands {
+		if counts[i] >= s.res.MinCount {
+			level = append(level, item.CountedSet{Set: c, Count: counts[i]})
+		}
+	}
+	if len(level) == 0 {
+		s.done = true
+		return nil, nil
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i].Set.Compare(level[j].Set) < 0 })
+	s.res.Levels = append(s.res.Levels, level)
+	s.prev = s.prev[:0]
+	for _, cs := range level {
+		s.res.Table.Put(cs.Set, cs.Count)
+		s.prev = append(s.prev, cs.Set)
+	}
+	s.k++
+	return level, nil
+}
+
+// Result returns the accumulated mining result (valid at any point; grows
+// with each Next).
+func (s *Stepper) Result() *apriori.Result { return s.res }

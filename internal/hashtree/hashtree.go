@@ -1,0 +1,175 @@
+// Package hashtree implements the hash tree of Agrawal & Srikant ("Fast
+// Algorithms for Mining Association Rules", VLDB 1994) used to count, for
+// each transaction, which of a (possibly very large) set of equal-size
+// candidate itemsets it contains.
+//
+// Interior nodes hash on the item at their depth; leaves hold candidate
+// indices. A Tree is immutable after Build and safe for concurrent use; all
+// mutable counting state lives in per-worker Counters, which are merged
+// after a parallel scan.
+package hashtree
+
+import (
+	"fmt"
+
+	"negmine/internal/item"
+)
+
+// branch is the fan-out of interior nodes.
+const branch = 16
+
+// DefaultMaxLeaf is the leaf capacity at which a leaf splits into an
+// interior node.
+const DefaultMaxLeaf = 24
+
+// Tree indexes a set of candidate k-itemsets for fast subset counting.
+type Tree struct {
+	k     int
+	cands []item.Itemset
+	root  *node
+}
+
+type node struct {
+	// Exactly one of leaf / kids is used.
+	leaf []int32 // candidate indices
+	kids *[branch]*node
+}
+
+func hashItem(x item.Item) int { return int(uint32(x)*2654435761) % branch }
+
+// Build constructs a tree over candidates, all of which must have the same
+// length k ≥ 1. maxLeaf ≤ 0 selects DefaultMaxLeaf. Candidates are not
+// copied; the caller must not mutate them afterwards.
+func Build(cands []item.Itemset, maxLeaf int) (*Tree, error) {
+	if len(cands) == 0 {
+		return &Tree{root: &node{}}, nil
+	}
+	if maxLeaf <= 0 {
+		maxLeaf = DefaultMaxLeaf
+	}
+	k := cands[0].Len()
+	if k < 1 {
+		return nil, fmt.Errorf("hashtree: empty candidate itemset")
+	}
+	t := &Tree{k: k, cands: cands, root: &node{}}
+	for i, c := range cands {
+		if c.Len() != k {
+			return nil, fmt.Errorf("hashtree: candidate %d has length %d, want %d", i, c.Len(), k)
+		}
+		t.insert(t.root, int32(i), 0, maxLeaf)
+	}
+	return t, nil
+}
+
+func (t *Tree) insert(n *node, idx int32, depth, maxLeaf int) {
+	if n.kids != nil {
+		c := t.cands[idx]
+		h := hashItem(c[depth])
+		child := n.kids[h]
+		if child == nil {
+			child = &node{}
+			n.kids[h] = child
+		}
+		t.insert(child, idx, depth+1, maxLeaf)
+		return
+	}
+	n.leaf = append(n.leaf, idx)
+	// Split an overfull leaf unless all k items have been hashed already.
+	if len(n.leaf) > maxLeaf && depth < t.k {
+		old := n.leaf
+		n.leaf = nil
+		n.kids = new([branch]*node)
+		for _, i := range old {
+			t.insert(n, i, depth, maxLeaf)
+		}
+	}
+}
+
+// K returns the candidate size (0 for an empty tree).
+func (t *Tree) K() int { return t.k }
+
+// Len returns the number of candidates.
+func (t *Tree) Len() int { return len(t.cands) }
+
+// Candidates returns the indexed candidates (shared slice).
+func (t *Tree) Candidates() []item.Itemset { return t.cands }
+
+// Counter accumulates per-candidate support counts against one Tree. It is
+// not safe for concurrent use; run one Counter per goroutine and Merge.
+type Counter struct {
+	tree   *Tree
+	counts []int
+	last   []int64 // sequence number of the last transaction that touched a candidate
+	seq    int64
+}
+
+// NewCounter returns a zeroed counter for t.
+func (t *Tree) NewCounter() *Counter {
+	return &Counter{
+		tree:   t,
+		counts: make([]int, len(t.cands)),
+		last:   make([]int64, len(t.cands)),
+	}
+}
+
+// Add counts every candidate that is a subset of tx. tx must be sorted.
+func (c *Counter) Add(tx item.Itemset) {
+	if c.tree.k == 0 || tx.Len() < c.tree.k {
+		return
+	}
+	c.seq++
+	c.visit(c.tree.root, tx, 0, 0, nil)
+}
+
+// AddCollect is Add, additionally invoking hit with the index of every
+// matched candidate (each exactly once per transaction, ascending order not
+// guaranteed). AprioriHybrid uses it to materialize per-transaction
+// candidate-id lists at its switch-over pass.
+func (c *Counter) AddCollect(tx item.Itemset, hit func(idx int32)) {
+	if c.tree.k == 0 || tx.Len() < c.tree.k {
+		return
+	}
+	c.seq++
+	c.visit(c.tree.root, tx, 0, 0, hit)
+}
+
+func (c *Counter) visit(n *node, tx item.Itemset, start, depth int, hit func(int32)) {
+	if n.kids == nil {
+		for _, idx := range n.leaf {
+			if c.last[idx] == c.seq {
+				continue // already examined via another path this transaction
+			}
+			c.last[idx] = c.seq
+			if c.tree.cands[idx].SubsetOf(tx) {
+				c.counts[idx]++
+				if hit != nil {
+					hit(idx)
+				}
+			}
+		}
+		return
+	}
+	// Try each remaining transaction item as the next hashed element; a
+	// candidate needs k-depth more items, so stop when too few remain.
+	for i := start; len(tx)-i >= c.tree.k-depth; i++ {
+		if child := n.kids[hashItem(tx[i])]; child != nil {
+			c.visit(child, tx, i+1, depth+1, hit)
+		}
+	}
+}
+
+// Count returns the accumulated count of candidate i (by Build order).
+func (c *Counter) Count(i int) int { return c.counts[i] }
+
+// Counts returns the full count vector (shared slice).
+func (c *Counter) Counts() []int { return c.counts }
+
+// Merge adds other's counts into c. Both must come from the same Tree.
+func (c *Counter) Merge(other *Counter) {
+	if other.tree != c.tree {
+		panic("hashtree: merging counters from different trees")
+	}
+	for i, n := range other.counts {
+		c.counts[i] += n
+	}
+}

@@ -1,0 +1,261 @@
+package negative
+
+import (
+	"math"
+	"sort"
+
+	"negmine/internal/item"
+	"negmine/internal/taxonomy"
+)
+
+// Mode records which of the paper's generation cases produced a candidate.
+type Mode int
+
+const (
+	// ViaChildren covers cases 1 and 2: members replaced by taxonomy
+	// children.
+	ViaChildren Mode = iota
+	// ViaSiblings is case 3: members replaced by siblings (or declared
+	// substitutes).
+	ViaSiblings
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ViaChildren {
+		return "children"
+	}
+	return "siblings"
+}
+
+// Candidate is a candidate negative itemset with its expected support and
+// the provenance of the generation path that assigned it (the
+// highest-expectation path when several produce the same candidate).
+type Candidate struct {
+	Set      item.Itemset
+	Expected float64
+	// Source is the large itemset the candidate was derived from.
+	Source item.Itemset
+	// Via tells whether members were swapped for children or siblings.
+	Via Mode
+}
+
+// generator accumulates candidate negative itemsets across large itemsets,
+// deduplicating on the itemset and keeping the largest expected support
+// (paper §2.1.1: "In such situations the largest value of the expected
+// support is chosen").
+type generator struct {
+	tax   *taxonomy.Taxonomy
+	table *item.SupportTable // generalized large-itemset supports
+	// minExpected is MinSup·MinRI: candidates whose expected support does
+	// not exceed it can never yield a rule with RI ≥ MinRI and are pruned
+	// at generation time.
+	minExpected float64
+	// isLarge reports whether a single item has minimum support. In the
+	// Improved driver the taxonomy is pre-compressed so children/sibling
+	// lists contain only large items, but kept members and replacements
+	// are still checked against the table for safety.
+	isLarge func(item.Item) bool
+	// subs maps an item to its declared substitute partners (extra
+	// sibling-like choices beyond the taxonomy).
+	subs map[item.Item][]item.Item
+	out  map[item.Key]prov
+}
+
+// prov is the best generation path seen for a candidate so far.
+type prov struct {
+	expected float64
+	source   item.Key
+	via      Mode
+}
+
+func newGenerator(tax *taxonomy.Taxonomy, table *item.SupportTable, minSup, minRI float64, substitutes []item.Itemset) *generator {
+	subs := map[item.Item][]item.Item{}
+	for _, group := range substitutes {
+		for _, x := range group {
+			for _, y := range group {
+				if x != y {
+					subs[x] = append(subs[x], y)
+				}
+			}
+		}
+	}
+	return &generator{
+		tax:         tax,
+		table:       table,
+		minExpected: minSup * minRI,
+		isLarge: func(x item.Item) bool {
+			return table.Contains(item.Itemset{x})
+		},
+		subs: subs,
+		out:  make(map[item.Key]prov),
+	}
+}
+
+// siblingChoices returns the taxonomy siblings of x plus its declared
+// substitute partners, deduplicated.
+func (g *generator) siblingChoices(x item.Item) []item.Item {
+	sibs := g.tax.Siblings(x)
+	extra := g.subs[x]
+	if len(extra) == 0 {
+		return sibs
+	}
+	seen := make(map[item.Item]struct{}, len(sibs)+len(extra))
+	out := make([]item.Item, 0, len(sibs)+len(extra))
+	for _, lists := range [][]item.Item{sibs, extra} {
+		for _, s := range lists {
+			if _, ok := seen[s]; !ok && s != x {
+				seen[s] = struct{}{}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// fromLarge generates all candidates derivable from the large itemset l
+// (paper cases 1–3):
+//
+//	Case 1: every member replaced by one of its children.
+//	Case 2: a proper non-empty subset of members replaced by children.
+//	Case 3: a proper non-empty subset of members replaced by siblings
+//	        (at least one member kept; all-sibling sets are excluded).
+//
+// In every case the expected support is sup(l) scaled by
+// Π sup(replacement)/sup(original) over the replaced members — the
+// uniformity assumption.
+func (g *generator) fromLarge(l item.Itemset) {
+	supL, ok := g.table.Support(l)
+	if !ok || supL == 0 {
+		return
+	}
+	// Children modes: any non-empty subset replaced (cases 1 and 2 merge).
+	g.enumerate(l, supL, g.tax.Children, false, ViaChildren)
+	// Sibling mode: proper subset replaced (case 3). Choices include
+	// declared substitute partners (the §4.1 extension).
+	g.enumerate(l, supL, g.siblingChoices, true, ViaSiblings)
+}
+
+// enumerate walks positions of l deciding keep-vs-replace, multiplying the
+// support ratio of each replacement. keepOne forces at least one kept
+// member (sibling mode).
+func (g *generator) enumerate(l item.Itemset, supL float64, choices func(item.Item) []item.Item, keepOne bool, via Mode) {
+	k := l.Len()
+	picked := make([]item.Item, k)
+	var rec func(pos, kept, replaced int, ratio float64)
+	rec = func(pos, kept, replaced int, ratio float64) {
+		if pos == k {
+			if replaced == 0 || (keepOne && kept == 0) {
+				return
+			}
+			g.emit(picked, supL*ratio, l, via)
+			return
+		}
+		x := l[pos]
+		// Keep.
+		picked[pos] = x
+		rec(pos+1, kept+1, replaced, ratio)
+		// Replace by each large choice with known support.
+		supX, okX := g.table.Support(item.Itemset{x})
+		if !okX || supX == 0 {
+			return
+		}
+		for _, r := range choices(x) {
+			if !g.isLarge(r) {
+				continue
+			}
+			supR, okR := g.table.Support(item.Itemset{r})
+			if !okR {
+				continue
+			}
+			next := ratio * supR / supX
+			// The scaled expectation can only shrink further; cut the
+			// whole branch when it is already below the floor.
+			if supL*next <= g.minExpected {
+				continue
+			}
+			picked[pos] = r
+			rec(pos+1, kept, replaced+1, next)
+		}
+	}
+	rec(0, 0, 0, 1)
+}
+
+// emit normalizes, filters and records one candidate.
+func (g *generator) emit(members []item.Item, expected float64, source item.Itemset, via Mode) {
+	set := item.New(members...)
+	if set.Len() != len(members) {
+		return // replacement collided with another member
+	}
+	if expected <= g.minExpected {
+		return
+	}
+	if g.table.Contains(set) {
+		return // already found large: not a negative candidate
+	}
+	// A member paired with its own ancestor has degenerate support
+	// semantics; such sets never appear among large itemsets either.
+	for i := 0; i < set.Len(); i++ {
+		for j := 0; j < set.Len(); j++ {
+			if i != j && g.tax.IsAncestor(set[i], set[j]) {
+				return
+			}
+		}
+	}
+	key := set.Key()
+	if old, ok := g.out[key]; !ok || expected > old.expected {
+		g.out[key] = prov{expected: expected, source: source.Key(), via: via}
+	}
+}
+
+// candidates returns the accumulated candidates sorted by itemset.
+func (g *generator) candidates() []Candidate {
+	out := make([]Candidate, 0, len(g.out))
+	for k, p := range g.out {
+		out = append(out, Candidate{Set: k.Itemset(), Expected: p.expected, Source: p.source.Itemset(), Via: p.via})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Set.Compare(out[j].Set) < 0 })
+	return out
+}
+
+// GenerateCandidates produces the candidate negative itemsets derivable
+// from every large itemset of size ≥ 2 in table, using tax for
+// children/sibling lookups. It is exported for tests, benchmarks and the
+// candidate-count experiment (Figure 7); the mining drivers use it
+// internally.
+func GenerateCandidates(levels [][]item.CountedSet, table *item.SupportTable, tax *taxonomy.Taxonomy, minSup, minRI float64, substitutes []item.Itemset) []Candidate {
+	g := newGenerator(tax, table, minSup, minRI, substitutes)
+	for k := 2; k <= len(levels); k++ {
+		for _, cs := range levels[k-1] {
+			g.fromLarge(cs.Set)
+		}
+	}
+	return g.candidates()
+}
+
+// EstimateCandidates evaluates the paper's §2.1.2 closed-form estimate of
+// the number of candidates generated from one large k-itemset with average
+// taxonomy fanout f:
+//
+//	Σ_{i=1..k} C(k, i)·f^i + k·(f − 1)
+//
+// (children replacements over every non-empty subset, plus sibling
+// replacements of single members).
+func EstimateCandidates(k int, f float64) float64 {
+	sum := 0.0
+	for i := 1; i <= k; i++ {
+		sum += binom(k, i) * math.Pow(f, float64(i))
+	}
+	return sum + float64(k)*(f-1)
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}

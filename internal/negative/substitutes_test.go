@@ -1,0 +1,242 @@
+package negative
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"negmine/internal/item"
+	"negmine/internal/stats"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// TestSubstituteGroups verifies the §4.1 extension: declaring two items
+// substitutes generates sibling-style candidates across taxonomy
+// boundaries that the taxonomy alone cannot produce.
+func TestSubstituteGroups(t *testing.T) {
+	// Two unrelated subtrees: store-brand cola lives under "house", Coke
+	// under "beverages". The taxonomy never makes them siblings.
+	b := taxonomy.NewBuilder()
+	b.Link("beverages", "coke")
+	b.Link("beverages", "juice")
+	b.Link("house", "storecola")
+	b.Link("house", "storewater")
+	b.Link("snacks", "chips")
+	tax, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(n string) item.Item {
+		x, _ := tax.Dictionary().Lookup(n)
+		return x
+	}
+	db := &txdb.MemDB{}
+	add := func(n int, names ...string) {
+		for i := 0; i < n; i++ {
+			items := make([]item.Item, len(names))
+			for j, nm := range names {
+				items[j] = id(nm)
+			}
+			db.Append(txdb.Transaction{TID: int64(db.Count() + 1), Items: item.New(items...)})
+		}
+	}
+	// Coke sells strongly with chips; store cola sells well alone but
+	// never with chips.
+	add(40, "coke", "chips")
+	add(10, "coke")
+	add(30, "storecola")
+	add(20, "juice")
+
+	base := Options{MinSupport: 0.1, MinRI: 0.4}
+	res, err := Mine(db, tax, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := item.New(id("storecola"), id("chips"))
+	for _, n := range res.Negatives {
+		if n.Set.Equal(target) {
+			t.Fatalf("taxonomy-only run already produced %v", target)
+		}
+	}
+
+	withSubs := base
+	withSubs.Substitutes = []item.Itemset{item.New(id("coke"), id("storecola"))}
+	res2, err := Mine(db, tax, withSubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Itemset
+	for i := range res2.Negatives {
+		if res2.Negatives[i].Set.Equal(target) {
+			found = &res2.Negatives[i]
+		}
+	}
+	if found == nil {
+		var sets []string
+		for _, n := range res2.Negatives {
+			sets = append(sets, n.Set.Format(tax.Name))
+		}
+		t.Fatalf("substitute knowledge did not produce %v; negatives: %v", target, sets)
+	}
+	// Expected support: sup({coke,chips}) · sup(storecola)/sup(coke)
+	//                 = 0.4 · (30/50) = 0.24; actual 0.
+	if math.Abs(found.Expected-0.24) > 1e-9 || found.Count != 0 {
+		t.Errorf("substitute candidate expected %v/count %d, want 0.24/0", found.Expected, found.Count)
+	}
+	// And a rule follows: {storecola} =/=> {chips} with RI 0.24/0.3 = 0.8.
+	foundRule := false
+	for _, r := range res2.Rules {
+		if r.Antecedent.Equal(item.New(id("storecola"))) && r.Consequent.Equal(item.New(id("chips"))) {
+			foundRule = true
+			if math.Abs(r.RI-0.8) > 1e-9 {
+				t.Errorf("substitute rule RI = %v, want 0.8", r.RI)
+			}
+		}
+	}
+	if !foundRule {
+		t.Errorf("substitute rule missing; rules: %v", res2.Rules)
+	}
+}
+
+func TestSubstituteValidation(t *testing.T) {
+	b := taxonomy.NewBuilder()
+	b.Link("a", "b")
+	tax, _ := b.Build()
+	db := txdb.FromItemsets([]item.Item{0})
+	bad := []Options{
+		{MinSupport: 0.1, MinRI: 0.5, Substitutes: []item.Itemset{item.New(1)}},
+		{MinSupport: 0.1, MinRI: 0.5, Substitutes: []item.Itemset{{2, 1}}},
+	}
+	for i, opt := range bad {
+		if _, err := Mine(db, tax, opt); err == nil {
+			t.Errorf("bad substitutes %d accepted", i)
+		}
+	}
+}
+
+// TestNaiveImprovedEquivalenceRandom is the strongest invariant: on random
+// taxonomic data the two drivers must produce byte-identical negatives and
+// rules, with and without memory bounds and substitutes.
+func TestNaiveImprovedEquivalenceRandom(t *testing.T) {
+	for trial := int64(1); trial <= 5; trial++ {
+		tax, err := taxonomy.Generate(taxonomy.GenSpec{Leaves: 24, Roots: 3, Fanout: 3}, stats.NewSource(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(trial * 7))
+		db := &txdb.MemDB{}
+		lv := tax.Leaves()
+		for i := 0; i < 250; i++ {
+			n := 1 + r.Intn(5)
+			raw := make([]item.Item, n)
+			for j := range raw {
+				raw[j] = lv[r.Intn(len(lv))]
+			}
+			db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+		}
+		subs := []item.Itemset{item.New(lv[0], lv[len(lv)-1])}
+		base := Options{MinSupport: 0.06, MinRI: 0.4, Substitutes: subs}
+
+		impr := base
+		impr.Algorithm = Improved
+		naive := base
+		naive.Algorithm = Naive
+		bounded := base
+		bounded.Algorithm = Improved
+		bounded.MaxCandidates = 7
+
+		a, err := Mine(db, tax, impr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opt := range map[string]Options{"naive": naive, "bounded": bounded} {
+			b, err := Mine(db, tax, opt)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if len(a.Negatives) != len(b.Negatives) {
+				t.Fatalf("trial %d %s: %d vs %d negatives", trial, name, len(b.Negatives), len(a.Negatives))
+			}
+			for i := range a.Negatives {
+				x, y := a.Negatives[i], b.Negatives[i]
+				if !x.Set.Equal(y.Set) || x.Count != y.Count || math.Abs(x.Expected-y.Expected) > 1e-12 {
+					t.Fatalf("trial %d %s: negative %d differs", trial, name, i)
+				}
+			}
+			if len(a.Rules) != len(b.Rules) {
+				t.Fatalf("trial %d %s: %d vs %d rules", trial, name, len(b.Rules), len(a.Rules))
+			}
+			for i := range a.Rules {
+				x, y := a.Rules[i], b.Rules[i]
+				if !x.Antecedent.Equal(y.Antecedent) || !x.Consequent.Equal(y.Consequent) ||
+					math.Abs(x.RI-y.RI) > 1e-12 {
+					t.Fatalf("trial %d %s: rule %d differs (%v vs %v)", trial, name, i, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestNegativeInvariantsRandom property-checks every mined artifact on
+// random data: members of negative itemsets are large; negative itemsets
+// are not large themselves; deviations clear the threshold; rule parts are
+// large, disjoint and RI-consistent.
+func TestNegativeInvariantsRandom(t *testing.T) {
+	for trial := int64(1); trial <= 4; trial++ {
+		tax, err := taxonomy.Generate(taxonomy.GenSpec{Leaves: 30, Roots: 4, Fanout: 4}, stats.NewSource(trial+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(trial * 13))
+		db := &txdb.MemDB{}
+		lv := tax.Leaves()
+		for i := 0; i < 300; i++ {
+			n := 1 + r.Intn(6)
+			raw := make([]item.Item, n)
+			for j := range raw {
+				raw[j] = lv[r.Intn(len(lv))]
+			}
+			db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+		}
+		opt := Options{MinSupport: 0.05, MinRI: 0.5}
+		res, err := Mine(db, tax, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table := res.Large.Table
+		threshold := opt.MinSupport * opt.MinRI
+		for _, n := range res.Negatives {
+			if table.Contains(n.Set) {
+				t.Errorf("negative itemset %v is itself large", n.Set)
+			}
+			for _, x := range n.Set {
+				if !table.Contains(item.Itemset{x}) {
+					t.Errorf("negative itemset %v contains small member %v", n.Set, x)
+				}
+			}
+			if n.Deviation() < threshold {
+				t.Errorf("negative itemset %v deviation %v below threshold %v", n.Set, n.Deviation(), threshold)
+			}
+			if n.Expected <= threshold {
+				t.Errorf("negative itemset %v expected %v not above floor", n.Set, n.Expected)
+			}
+		}
+		for _, rule := range res.Rules {
+			if !rule.Antecedent.Disjoint(rule.Consequent) {
+				t.Errorf("rule %v has overlapping sides", rule)
+			}
+			if !table.Contains(rule.Antecedent) || !table.Contains(rule.Consequent) {
+				t.Errorf("rule %v has a small side", rule)
+			}
+			if rule.RI < opt.MinRI {
+				t.Errorf("rule %v below MinRI", rule)
+			}
+			supA, _ := table.Support(rule.Antecedent)
+			wantRI := (rule.Expected - rule.Actual) / supA
+			if math.Abs(wantRI-rule.RI) > 1e-9 {
+				t.Errorf("rule %v RI inconsistent: %v vs %v", rule, rule.RI, wantRI)
+			}
+		}
+	}
+}

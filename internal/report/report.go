@@ -1,0 +1,176 @@
+// Package report serializes mining results — negative rules, negative
+// itemsets and positive rules — as JSON or CSV for downstream tooling
+// (spreadsheets, dashboards, rule stores).
+//
+// All writers resolve item ids through a name function so output is
+// human-readable; records are emitted in the deterministic order the miners
+// produce.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"negmine/internal/apriori"
+	"negmine/internal/item"
+	"negmine/internal/negative"
+)
+
+// NegativeRuleRecord is the exported form of one negative rule.
+type NegativeRuleRecord struct {
+	Antecedent      []string `json:"antecedent"`
+	Consequent      []string `json:"consequent"`
+	RuleInterest    float64  `json:"ruleInterest"`
+	ExpectedSupport float64  `json:"expectedSupport"`
+	ActualSupport   float64  `json:"actualSupport"`
+	NegConfidence   float64  `json:"negConfidence"`
+	DerivedFrom     []string `json:"derivedFrom,omitempty"`
+	Via             string   `json:"via,omitempty"`
+}
+
+// NegativeItemsetRecord is the exported form of one negative itemset.
+type NegativeItemsetRecord struct {
+	Items           []string `json:"items"`
+	ExpectedSupport float64  `json:"expectedSupport"`
+	ActualSupport   float64  `json:"actualSupport"`
+	ActualCount     int      `json:"actualCount"`
+	DerivedFrom     []string `json:"derivedFrom,omitempty"`
+	Via             string   `json:"via,omitempty"`
+}
+
+// PositiveRuleRecord is the exported form of one positive rule.
+type PositiveRuleRecord struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+}
+
+// NegativeReport bundles a whole negative mining run for JSON export.
+type NegativeReport struct {
+	MinSupport float64                 `json:"minSupport"`
+	MinRI      float64                 `json:"minRI"`
+	Rules      []NegativeRuleRecord    `json:"rules"`
+	Itemsets   []NegativeItemsetRecord `json:"negativeItemsets"`
+}
+
+func names(s item.Itemset, name func(item.Item) string) []string {
+	out := make([]string, s.Len())
+	for i, x := range s {
+		out[i] = name(x)
+	}
+	return out
+}
+
+// BuildNegative converts a mining result into its exportable form.
+func BuildNegative(res *negative.Result, minSup, minRI float64, name func(item.Item) string) *NegativeReport {
+	rep := &NegativeReport{MinSupport: minSup, MinRI: minRI}
+	for _, r := range res.Rules {
+		rep.Rules = append(rep.Rules, NegativeRuleRecord{
+			Antecedent:      names(r.Antecedent, name),
+			Consequent:      names(r.Consequent, name),
+			RuleInterest:    r.RI,
+			ExpectedSupport: r.Expected,
+			ActualSupport:   r.Actual,
+			NegConfidence:   r.NegConfidence,
+			DerivedFrom:     names(r.Source, name),
+			Via:             r.Via.String(),
+		})
+	}
+	for _, n := range res.Negatives {
+		rep.Itemsets = append(rep.Itemsets, NegativeItemsetRecord{
+			Items:           names(n.Set, name),
+			ExpectedSupport: n.Expected,
+			ActualSupport:   n.Actual(),
+			ActualCount:     n.Count,
+			DerivedFrom:     names(n.Source, name),
+			Via:             n.Via.String(),
+		})
+	}
+	return rep
+}
+
+// WriteNegativeJSON writes a full negative mining run as indented JSON.
+func WriteNegativeJSON(w io.Writer, res *negative.Result, minSup, minRI float64, name func(item.Item) string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildNegative(res, minSup, minRI, name))
+}
+
+// WriteNegativeCSV writes the negative rules as CSV with the header
+// antecedent,consequent,ruleInterest,expectedSupport,actualSupport. Itemset
+// sides are space-joined.
+func WriteNegativeCSV(w io.Writer, res *negative.Result, name func(item.Item) string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"antecedent", "consequent", "ruleInterest", "expectedSupport", "actualSupport"}); err != nil {
+		return err
+	}
+	for _, r := range res.Rules {
+		rec := []string{
+			strings.Join(names(r.Antecedent, name), " "),
+			strings.Join(names(r.Consequent, name), " "),
+			formatFloat(r.RI),
+			formatFloat(r.Expected),
+			formatFloat(r.Actual),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePositiveJSON writes positive rules as an indented JSON array.
+func WritePositiveJSON(w io.Writer, rules []apriori.Rule, name func(item.Item) string) error {
+	recs := make([]PositiveRuleRecord, 0, len(rules))
+	for _, r := range rules {
+		recs = append(recs, PositiveRuleRecord{
+			Antecedent: names(r.Antecedent, name),
+			Consequent: names(r.Consequent, name),
+			Support:    r.Support,
+			Confidence: r.Confidence,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WritePositiveCSV writes positive rules as CSV.
+func WritePositiveCSV(w io.Writer, rules []apriori.Rule, name func(item.Item) string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"antecedent", "consequent", "support", "confidence"}); err != nil {
+		return err
+	}
+	for _, r := range rules {
+		rec := []string{
+			strings.Join(names(r.Antecedent, name), " "),
+			strings.Join(names(r.Consequent, name), " "),
+			formatFloat(r.Support),
+			formatFloat(r.Confidence),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadNegativeJSON parses a report previously written by WriteNegativeJSON
+// (round-trip support for rule stores).
+func ReadNegativeJSON(r io.Reader) (*NegativeReport, error) {
+	var rep NegativeReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("report: decoding: %w", err)
+	}
+	return &rep, nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 10, 64) }

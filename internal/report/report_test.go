@@ -1,0 +1,136 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"negmine/internal/apriori"
+	"negmine/internal/item"
+	"negmine/internal/negative"
+)
+
+func sampleResult() (*negative.Result, func(item.Item) string) {
+	name := func(i item.Item) string {
+		return map[item.Item]string{1: "pepsi", 2: "chips", 3: "salsa"}[i]
+	}
+	res := &negative.Result{
+		Negatives: []negative.Itemset{
+			{Set: item.New(1, 2), Expected: 0.2, Count: 5, N: 100},
+		},
+		Rules: []negative.Rule{
+			{Antecedent: item.New(1), Consequent: item.New(2), RI: 0.75, Expected: 0.2, Actual: 0.05},
+			{Antecedent: item.New(1), Consequent: item.New(2, 3), RI: 0.6, Expected: 0.18, Actual: 0.02},
+		},
+	}
+	return res, name
+}
+
+func TestNegativeJSONRoundTrip(t *testing.T) {
+	res, name := sampleResult()
+	var buf bytes.Buffer
+	if err := WriteNegativeJSON(&buf, res, 0.1, 0.5, name); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadNegativeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MinSupport != 0.1 || rep.MinRI != 0.5 {
+		t.Errorf("thresholds = %v/%v", rep.MinSupport, rep.MinRI)
+	}
+	if len(rep.Rules) != 2 || len(rep.Itemsets) != 1 {
+		t.Fatalf("rules=%d itemsets=%d", len(rep.Rules), len(rep.Itemsets))
+	}
+	r := rep.Rules[0]
+	if r.Antecedent[0] != "pepsi" || r.Consequent[0] != "chips" || r.RuleInterest != 0.75 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if rep.Rules[1].Consequent[1] != "salsa" {
+		t.Errorf("rule 1 consequent = %v", rep.Rules[1].Consequent)
+	}
+	it := rep.Itemsets[0]
+	if it.ActualCount != 5 || it.ActualSupport != 0.05 || it.ExpectedSupport != 0.2 {
+		t.Errorf("itemset = %+v", it)
+	}
+}
+
+func TestNegativeCSV(t *testing.T) {
+	res, name := sampleResult()
+	var buf bytes.Buffer
+	if err := WriteNegativeCSV(&buf, res, name); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "antecedent" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "pepsi" || records[1][1] != "chips" || records[1][2] != "0.75" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+	if records[2][1] != "chips salsa" {
+		t.Errorf("multi-item consequent = %q", records[2][1])
+	}
+}
+
+func TestPositiveWriters(t *testing.T) {
+	name := func(i item.Item) string {
+		return map[item.Item]string{1: "bread", 2: "milk"}[i]
+	}
+	rules := []apriori.Rule{
+		{Antecedent: item.New(1), Consequent: item.New(2), Support: 0.4, Confidence: 0.8},
+	}
+	var buf bytes.Buffer
+	if err := WritePositiveJSON(&buf, rules, name); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"confidence": 0.8`) {
+		t.Errorf("JSON = %s", buf.String())
+	}
+	buf.Reset()
+	if err := WritePositiveCSV(&buf, rules, name); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil || len(records) != 2 {
+		t.Fatalf("CSV: %v, %d rows", err, len(records))
+	}
+	if records[1][3] != "0.8" {
+		t.Errorf("confidence column = %q", records[1][3])
+	}
+}
+
+func TestReadNegativeJSONErrors(t *testing.T) {
+	if _, err := ReadNegativeJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &negative.Result{}
+	if err := WriteNegativeJSON(&buf, empty, 0.1, 0.5, func(item.Item) string { return "" }); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadNegativeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rules) != 0 || len(rep.Itemsets) != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	buf.Reset()
+	if err := WriteNegativeCSV(&buf, empty, func(item.Item) string { return "" }); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Errorf("empty CSV has %d lines", lines)
+	}
+}

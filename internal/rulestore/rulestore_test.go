@@ -1,0 +1,132 @@
+package rulestore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"negmine/internal/item"
+	"negmine/internal/negative"
+	"negmine/internal/report"
+)
+
+func names() func(item.Item) string {
+	m := map[item.Item]string{1: "pepsi", 2: "chips", 3: "salsa", 4: "water"}
+	return func(i item.Item) string { return m[i] }
+}
+
+func resultA() *negative.Result {
+	return &negative.Result{Rules: []negative.Rule{
+		{Antecedent: item.New(1), Consequent: item.New(2), RI: 0.8, Expected: 0.2, Actual: 0.01},
+		{Antecedent: item.New(1), Consequent: item.New(3), RI: 0.6, Expected: 0.15, Actual: 0.03},
+	}}
+}
+
+func resultB() *negative.Result {
+	return &negative.Result{Rules: []negative.Rule{
+		{Antecedent: item.New(1), Consequent: item.New(2), RI: 0.82, Expected: 0.2, Actual: 0.008}, // tiny drift
+		{Antecedent: item.New(1), Consequent: item.New(3), RI: 0.3, Expected: 0.15, Actual: 0.1},   // big drop
+		{Antecedent: item.New(4), Consequent: item.New(2), RI: 0.7, Expected: 0.1, Actual: 0},      // new
+	}}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := New(resultA(), names())
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	e, ok := s.Lookup([]string{"pepsi"}, []string{"chips"})
+	if !ok || e.RI != 0.8 {
+		t.Errorf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := s.Lookup([]string{"chips"}, []string{"pepsi"}); ok {
+		t.Error("reversed rule found")
+	}
+	byPepsi := s.ByItem("pepsi")
+	if len(byPepsi) != 2 {
+		t.Errorf("ByItem(pepsi) = %d", len(byPepsi))
+	}
+	if got := s.ByItem("salsa"); len(got) != 1 {
+		t.Errorf("ByItem(salsa) = %d", len(got))
+	}
+	if got := s.ByItem("unknown"); len(got) != 0 {
+		t.Errorf("ByItem(unknown) = %d", len(got))
+	}
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Signature() >= all[i].Signature() {
+			t.Error("All not sorted")
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := New(resultA(), names())
+	new_ := New(resultB(), names())
+	d := Compare(old, new_, 0.05)
+	if len(d.Appeared) != 1 || d.Appeared[0].Antecedent[0] != "water" {
+		t.Errorf("Appeared = %v", d.Appeared)
+	}
+	if len(d.Disappeared) != 0 {
+		t.Errorf("Disappeared = %v", d.Disappeared)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].New.RI != 0.3 {
+		t.Errorf("Changed = %v", d.Changed)
+	}
+	if d.Unchanged != 1 {
+		t.Errorf("Unchanged = %d", d.Unchanged)
+	}
+	// Reverse direction: the water rule disappears.
+	rd := Compare(new_, old, 0.05)
+	if len(rd.Disappeared) != 1 || len(rd.Appeared) != 0 {
+		t.Errorf("reverse diff: %+v", rd)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"1 appeared", "+ {water}", "(RI 0.6000 → 0.3000)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadFromJSON(t *testing.T) {
+	// Persist run A through the report writer, then load it back and diff
+	// against the in-memory run B.
+	var buf bytes.Buffer
+	if err := report.WriteNegativeJSON(&buf, resultA(), 0.1, 0.5, names()); err != nil {
+		t.Fatal(err)
+	}
+	old, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != 2 {
+		t.Fatalf("loaded %d rules", old.Len())
+	}
+	d := Compare(old, New(resultB(), names()), 0.05)
+	if len(d.Appeared) != 1 || len(d.Changed) != 1 || d.Unchanged != 1 {
+		t.Errorf("diff after JSON round trip: %+v", d)
+	}
+	if _, err := Load(strings.NewReader("{bad")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNameOrderIrrelevant(t *testing.T) {
+	// Two runs over dictionaries with different interning orders must
+	// still match by name signature.
+	res := &negative.Result{Rules: []negative.Rule{
+		{Antecedent: item.New(5, 9), Consequent: item.New(7), RI: 0.5},
+	}}
+	nameA := func(i item.Item) string { return map[item.Item]string{5: "a", 9: "b", 7: "c"}[i] }
+	res2 := &negative.Result{Rules: []negative.Rule{
+		{Antecedent: item.New(9, 5), Consequent: item.New(7), RI: 0.5},
+	}}
+	nameB := func(i item.Item) string { return map[item.Item]string{9: "a", 5: "b", 7: "c"}[i] }
+	d := Compare(New(res, nameA), New(res2, nameB), 0.01)
+	if len(d.Appeared) != 0 || len(d.Disappeared) != 0 || d.Unchanged != 1 {
+		t.Errorf("name identity broken: %+v", d)
+	}
+}

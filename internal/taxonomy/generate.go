@@ -1,0 +1,76 @@
+package taxonomy
+
+import (
+	"fmt"
+
+	"negmine/internal/item"
+	"negmine/internal/stats"
+)
+
+// GenSpec parameterizes random taxonomy generation (paper §3.1): N leaf
+// items grouped into categories with Poisson(F) fanout, grouped again level
+// by level until at most R roots remain.
+type GenSpec struct {
+	Leaves int     // N: number of leaf items
+	Roots  int     // R: grouping stops once a level has ≤ R nodes
+	Fanout float64 // F: mean Poisson fanout
+}
+
+// Generate builds a random taxonomy. Construction is bottom-up: the N leaves
+// form level 0; each higher level groups the previous one into runs of
+// Poisson(F) (≥ 2) nodes; grouping stops when a level has at most R nodes,
+// which become the roots. This yields exactly N leaves, mean fanout ≈ F and
+// ≈ R roots — fanout F = 9 gives the paper's shallow "Short" shape, F = 3
+// the deep "Tall" shape.
+//
+// Leaves are named item0..item<N-1>; categories cat<level>_<index>.
+func Generate(spec GenSpec, src *stats.Source) (*Taxonomy, error) {
+	if spec.Leaves <= 0 {
+		return nil, fmt.Errorf("taxonomy: GenSpec.Leaves = %d, want > 0", spec.Leaves)
+	}
+	if spec.Roots <= 0 {
+		return nil, fmt.Errorf("taxonomy: GenSpec.Roots = %d, want > 0", spec.Roots)
+	}
+	if spec.Fanout < 2 {
+		return nil, fmt.Errorf("taxonomy: GenSpec.Fanout = %v, want ≥ 2", spec.Fanout)
+	}
+	b := NewBuilder()
+	level := make([]item.Item, spec.Leaves)
+	for i := range level {
+		level[i] = b.Node(fmt.Sprintf("item%d", i))
+	}
+	for lvl := 1; len(level) > spec.Roots; lvl++ {
+		var next []item.Item
+		for i := 0; i < len(level); {
+			n := src.PoissonAtLeast(spec.Fanout, 2)
+			if i+n > len(level) {
+				n = len(level) - i
+			}
+			cat := b.Node(fmt.Sprintf("cat%d_%d", lvl, len(next)))
+			for _, c := range level[i : i+n] {
+				b.LinkIDs(cat, c)
+			}
+			next = append(next, cat)
+			i += n
+		}
+		if len(next) >= len(level) { // cannot happen with fanout ≥ 2, but guard anyway
+			return nil, fmt.Errorf("taxonomy: generation failed to converge at level %d", lvl)
+		}
+		level = next
+	}
+	return b.Build()
+}
+
+// MeanFanout returns the average number of children over all internal nodes,
+// 0 for a taxonomy with no categories.
+func (t *Taxonomy) MeanFanout() float64 {
+	cats := t.Categories()
+	if len(cats) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range cats {
+		total += len(t.Children(c))
+	}
+	return float64(total) / float64(len(cats))
+}

@@ -1,0 +1,251 @@
+package txdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"negmine/internal/item"
+)
+
+// Binary format
+//
+//	header:  magic "NMTX" | uvarint version (1) | uvarint txCount
+//	record:  uvarint tidDelta (from previous TID, first from 0)
+//	         uvarint itemCount
+//	         itemCount × uvarint itemDelta (+1 from previous item, first raw)
+//
+// Delta coding exploits sorted itemsets and mostly-increasing TIDs; typical
+// retail baskets encode in ~1.2 bytes per item.
+
+const (
+	magic         = "NMTX"
+	formatVersion = 1
+)
+
+// Writer streams transactions into the binary format. Transactions must be
+// written in non-decreasing TID order.
+type Writer struct {
+	w       *bufio.Writer
+	buf     [binary.MaxVarintLen64]byte
+	lastTID int64
+	count   int
+	started bool
+	ws      io.WriteSeeker
+}
+
+// NewWriter creates a Writer over ws. The transaction count is back-patched
+// into the header on Close, so ws must support seeking (os.File does).
+func NewWriter(ws io.WriteSeeker) (*Writer, error) {
+	w := &Writer{w: bufio.NewWriterSize(ws, 1<<16), ws: ws}
+	if _, err := w.w.WriteString(magic); err != nil {
+		return nil, err
+	}
+	w.putUvarint(formatVersion)
+	// Fixed-width placeholder for the count so it can be patched in place.
+	var fixed [8]byte
+	if _, err := w.w.Write(fixed[:]); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) putUvarint(x uint64) {
+	n := binary.PutUvarint(w.buf[:], x)
+	w.w.Write(w.buf[:n])
+}
+
+// Write appends one transaction.
+func (w *Writer) Write(tx Transaction) error {
+	if w.started && tx.TID < w.lastTID {
+		return fmt.Errorf("txdb: TID %d out of order (previous %d)", tx.TID, w.lastTID)
+	}
+	if tx.TID < 0 {
+		return fmt.Errorf("txdb: negative TID %d", tx.TID)
+	}
+	w.putUvarint(uint64(tx.TID - w.lastTID))
+	w.lastTID = tx.TID
+	w.started = true
+	w.putUvarint(uint64(len(tx.Items)))
+	prev := int64(-1)
+	for _, it := range tx.Items {
+		w.putUvarint(uint64(int64(it) - prev))
+		prev = int64(it)
+	}
+	w.count++
+	return nil
+}
+
+// Close flushes buffered data and back-patches the transaction count.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	// Patch count at offset len(magic)+1 (version byte is a single uvarint
+	// byte for version 1).
+	var fixed [8]byte
+	binary.LittleEndian.PutUint64(fixed[:], uint64(w.count))
+	if _, err := w.ws.Seek(int64(len(magic))+1, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := w.ws.Write(fixed[:]); err != nil {
+		return err
+	}
+	_, err := w.ws.Seek(0, io.SeekEnd)
+	return err
+}
+
+// WriteFile writes all of db to path in the binary format. A ".gz" suffix
+// selects transparent gzip compression.
+func WriteFile(path string, db DB) error {
+	if isGzipPath(path) {
+		return writeFileGz(path, db)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeAll(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FileDB is a disk-resident transaction database in the binary format. Every
+// Scan streams the file from the start; multiple concurrent scans each use
+// their own *os.File via ScanShard.
+type FileDB struct {
+	path  string
+	count int
+}
+
+// OpenFile validates the header of path and returns a FileDB. A ".gz"
+// suffix selects transparent gzip decompression on every scan.
+func OpenFile(path string) (*FileDB, error) {
+	r, closer, err := openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	count, err := readHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("txdb: %s: %w", path, err)
+	}
+	return &FileDB{path: path, count: count}, nil
+}
+
+func readHeader(r *bufio.Reader) (count int, err error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return 0, fmt.Errorf("reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return 0, fmt.Errorf("bad magic %q", m[:])
+	}
+	ver, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("reading version: %w", err)
+	}
+	if ver != formatVersion {
+		return 0, fmt.Errorf("unsupported version %d", ver)
+	}
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return 0, fmt.Errorf("reading count: %w", err)
+	}
+	return int(binary.LittleEndian.Uint64(fixed[:])), nil
+}
+
+// Count returns the number of transactions recorded in the header.
+func (f *FileDB) Count() int { return f.count }
+
+// Path returns the underlying file path.
+func (f *FileDB) Path() string { return f.path }
+
+// Scan streams every transaction from disk. The Items slice passed to fn is
+// reused between calls; fn must Clone it to retain it.
+func (f *FileDB) Scan(fn func(Transaction) error) error {
+	return f.ScanShard(0, 1, fn)
+}
+
+// ScanShard streams the shard-th of `of` interleaved subsets. All bytes are
+// still read (the format is not seekable per record), but decode work for
+// foreign shards is skipped.
+func (f *FileDB) ScanShard(shard, of int, fn func(Transaction) error) error {
+	if of <= 0 || shard < 0 || shard >= of {
+		return fmt.Errorf("txdb: bad shard %d/%d", shard, of)
+	}
+	r, closer, err := openReader(f.path)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	if _, err := readHeader(r); err != nil {
+		return err
+	}
+	var items item.Itemset
+	tid := int64(0)
+	for i := 0; i < f.count; i++ {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("txdb: record %d: tid: %w", i, err)
+		}
+		tid += int64(d)
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("txdb: record %d: length: %w", i, err)
+		}
+		if n > 1<<24 {
+			return fmt.Errorf("txdb: record %d: absurd item count %d", i, n)
+		}
+		mine := i%of == shard
+		if cap(items) < int(n) {
+			items = make(item.Itemset, n)
+		}
+		items = items[:n]
+		prev := int64(-1)
+		for j := 0; j < int(n); j++ {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("txdb: record %d: item %d: %w", i, j, err)
+			}
+			// Items are strictly increasing, so every delta from the
+			// previous item (initially -1) must be ≥ 1; a zero delta means
+			// a corrupt or hostile file.
+			if d == 0 {
+				return fmt.Errorf("txdb: record %d: item %d: zero delta (corrupt file)", i, j)
+			}
+			prev += int64(d)
+			if prev > int64(^uint32(0)>>1) {
+				return fmt.Errorf("txdb: record %d: item id overflow", i)
+			}
+			items[j] = item.Item(prev)
+		}
+		if mine {
+			if err := fn(Transaction{TID: tid, Items: items}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads an entire binary file into a MemDB.
+func Load(path string) (*MemDB, error) {
+	f, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &MemDB{txs: make([]Transaction, 0, f.Count())}
+	err = f.Scan(func(tx Transaction) error {
+		m.Append(Transaction{TID: tx.TID, Items: tx.Items.Clone()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,93 @@
+package txdb
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"negmine/internal/item"
+)
+
+// FuzzScanBinary feeds arbitrary bytes to the binary-format reader: it must
+// either reject the input with an error or scan cleanly, but never panic or
+// allocate absurdly.
+func FuzzScanBinary(f *testing.F) {
+	// Seed with a valid file.
+	var buf writeSeekBuffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Write(Transaction{TID: 1, Items: item.New(1, 2, 3)})
+	w.Write(Transaction{TID: 5, Items: item.New(7)})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.buf.Bytes())
+	f.Add([]byte("NMTX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := dir + "/fuzz.nmtx"
+		if err := writeRaw(path, data); err != nil {
+			t.Skip()
+		}
+		db, err := OpenFile(path)
+		if err != nil {
+			return // rejected at header: fine
+		}
+		// Guard against absurd header counts driving a long loop: the scan
+		// must fail fast on truncated bodies.
+		n := 0
+		_ = db.Scan(func(tx Transaction) error {
+			if err := tx.Items.Validate(); err != nil {
+				t.Errorf("scanned invalid itemset: %v", err)
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("unbounded scan")
+			}
+			return nil
+		})
+	})
+}
+
+// writeSeekBuffer adapts bytes.Buffer to io.WriteSeeker for tests.
+type writeSeekBuffer struct {
+	buf bytes.Buffer
+	pos int
+}
+
+func (w *writeSeekBuffer) Write(p []byte) (int, error) {
+	if w.pos < w.buf.Len() {
+		// Overwrite in place.
+		n := copy(w.buf.Bytes()[w.pos:], p)
+		w.pos += n
+		if n < len(p) {
+			m, err := w.buf.Write(p[n:])
+			w.pos += m
+			return n + m, err
+		}
+		return n, nil
+	}
+	n, err := w.buf.Write(p)
+	w.pos += n
+	return n, err
+}
+
+func (w *writeSeekBuffer) Seek(offset int64, whence int) (int64, error) {
+	switch whence {
+	case 0:
+		w.pos = int(offset)
+	case 1:
+		w.pos += int(offset)
+	case 2:
+		w.pos = w.buf.Len() + int(offset)
+	}
+	return int64(w.pos), nil
+}
+
+func writeRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

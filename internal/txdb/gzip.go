@@ -1,0 +1,116 @@
+package txdb
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// isGzipPath reports whether path selects gzip framing (.gz suffix).
+func isGzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// writeAll emits a complete binary stream — header with the exact count,
+// then every record — to w. Unlike Writer it needs no seeking, so it works
+// through a gzip compressor.
+func writeAll(w io.Writer, db DB) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(formatVersion); err != nil {
+		return err
+	}
+	var fixed [8]byte
+	binary.LittleEndian.PutUint64(fixed[:], uint64(db.Count()))
+	if _, err := bw.Write(fixed[:]); err != nil {
+		return err
+	}
+	lastTID := int64(0)
+	started := false
+	err := db.Scan(func(tx Transaction) error {
+		if started && tx.TID < lastTID {
+			return fmt.Errorf("txdb: TID %d out of order (previous %d)", tx.TID, lastTID)
+		}
+		if tx.TID < 0 {
+			return fmt.Errorf("txdb: negative TID %d", tx.TID)
+		}
+		if err := put(uint64(tx.TID - lastTID)); err != nil {
+			return err
+		}
+		lastTID = tx.TID
+		started = true
+		if err := put(uint64(len(tx.Items))); err != nil {
+			return err
+		}
+		prev := int64(-1)
+		for _, it := range tx.Items {
+			if err := put(uint64(int64(it) - prev)); err != nil {
+				return err
+			}
+			prev = int64(it)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeFileGz writes db to path through gzip.
+func writeFileGz(path string, db DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(f)
+	if err := writeAll(gz, db); err != nil {
+		f.Close()
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openReader opens path and returns a buffered reader over its
+// (possibly gzip-compressed) contents plus a closer for all resources.
+func openReader(path string) (*bufio.Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isGzipPath(path) {
+		return bufio.NewReaderSize(f, 1<<16), f, nil
+	}
+	gz, err := gzip.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("txdb: %s: gzip: %w", path, err)
+	}
+	return bufio.NewReaderSize(gz, 1<<16), multiCloser{gz, f}, nil
+}
+
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,156 @@
+// Package txdb implements the transaction database every mining pass runs
+// over: an in-memory store, a compact binary on-disk format with streaming
+// reader/writer, and a whitespace "basket" text format for human-authored
+// data.
+//
+// All algorithms access data through the DB interface, so they behave
+// identically over memory and disk. The Instrumented wrapper counts scan
+// passes, which lets tests prove the paper's pass-complexity claims (Naive =
+// 2n passes, Improved = n+1).
+package txdb
+
+import (
+	"errors"
+	"fmt"
+
+	"negmine/internal/item"
+)
+
+// Transaction is one customer basket: a unique TID and a sorted set of
+// (leaf) items.
+type Transaction struct {
+	TID   int64
+	Items item.Itemset
+}
+
+// DB is a scannable transaction database. Scan streams every transaction in
+// storage order; returning a non-nil error from fn aborts the scan and is
+// propagated. Count is the number of transactions.
+type DB interface {
+	Scan(fn func(Transaction) error) error
+	Count() int
+}
+
+// Sharder is implemented by databases that support partitioned scans:
+// ScanShard(i, n) visits the i-th of n disjoint, jointly-exhaustive subsets
+// of the data. It powers parallel support counting and the Partition mining
+// algorithm.
+type Sharder interface {
+	ScanShard(shard, of int, fn func(Transaction) error) error
+}
+
+// MemDB is an in-memory transaction database.
+type MemDB struct {
+	txs []Transaction
+}
+
+// NewMemDB builds a database from transactions, validating itemsets and
+// TID uniqueness is NOT enforced (callers own TID assignment).
+func NewMemDB(txs []Transaction) (*MemDB, error) {
+	for i, tx := range txs {
+		if err := tx.Items.Validate(); err != nil {
+			return nil, fmt.Errorf("txdb: transaction %d (tid %d): %w", i, tx.TID, err)
+		}
+	}
+	return &MemDB{txs: txs}, nil
+}
+
+// FromItemsets builds a MemDB assigning sequential TIDs; each input slice is
+// normalized (sorted, deduplicated). Convenient for tests and examples.
+func FromItemsets(sets ...[]item.Item) *MemDB {
+	txs := make([]Transaction, len(sets))
+	for i, s := range sets {
+		txs[i] = Transaction{TID: int64(i + 1), Items: item.New(s...)}
+	}
+	return &MemDB{txs: txs}
+}
+
+// Append adds a transaction (no validation; intended for generators that
+// produce canonical itemsets).
+func (m *MemDB) Append(tx Transaction) { m.txs = append(m.txs, tx) }
+
+// Count returns the number of transactions.
+func (m *MemDB) Count() int { return len(m.txs) }
+
+// Scan visits every transaction in insertion order.
+func (m *MemDB) Scan(fn func(Transaction) error) error {
+	for _, tx := range m.txs {
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanShard visits transactions whose index ≡ shard (mod of).
+func (m *MemDB) ScanShard(shard, of int, fn func(Transaction) error) error {
+	if of <= 0 || shard < 0 || shard >= of {
+		return fmt.Errorf("txdb: bad shard %d/%d", shard, of)
+	}
+	for i := shard; i < len(m.txs); i += of {
+		if err := fn(m.txs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanRange visits transactions with index in [lo, hi). It backs the
+// Partition algorithm's contiguous partitions.
+func (m *MemDB) ScanRange(lo, hi int, fn func(Transaction) error) error {
+	if lo < 0 || hi > len(m.txs) || lo > hi {
+		return fmt.Errorf("txdb: bad range [%d,%d) of %d", lo, hi, len(m.txs))
+	}
+	for _, tx := range m.txs[lo:hi] {
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Transactions exposes the underlying slice (shared; callers must not
+// modify). Used by the data generator's tests.
+func (m *MemDB) Transactions() []Transaction { return m.txs }
+
+// Stats summarizes a database: transaction count, item occurrences, average
+// basket length, and the maximum item id (for sizing count arrays).
+type Stats struct {
+	Transactions int
+	TotalItems   int
+	AvgLen       float64
+	MaxItem      item.Item
+}
+
+// Collect computes Stats with a single scan.
+func Collect(db DB) (Stats, error) {
+	var s Stats
+	s.MaxItem = item.None
+	err := db.Scan(func(tx Transaction) error {
+		s.Transactions++
+		s.TotalItems += tx.Items.Len()
+		if n := tx.Items.Len(); n > 0 && tx.Items[n-1] > s.MaxItem {
+			s.MaxItem = tx.Items[n-1]
+		}
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if s.Transactions > 0 {
+		s.AvgLen = float64(s.TotalItems) / float64(s.Transactions)
+	}
+	return s, nil
+}
+
+// ErrStop may be returned by a Scan callback to end the scan early without
+// reporting an error to the caller of ScanUntil.
+var ErrStop = errors.New("txdb: stop scan")
+
+// ScanUntil scans db but treats ErrStop from fn as successful early exit.
+func ScanUntil(db DB, fn func(Transaction) error) error {
+	if err := db.Scan(fn); err != nil && !errors.Is(err, ErrStop) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,464 @@
+package txdb
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"negmine/internal/item"
+)
+
+func sampleDB() *MemDB {
+	return FromItemsets(
+		[]item.Item{1, 2, 3},
+		[]item.Item{2, 4},
+		[]item.Item{1, 3, 5, 7},
+		[]item.Item{},
+		[]item.Item{9},
+	)
+}
+
+func TestMemDBBasics(t *testing.T) {
+	db := sampleDB()
+	if db.Count() != 5 {
+		t.Errorf("Count = %d", db.Count())
+	}
+	var tids []int64
+	var total int
+	err := db.Scan(func(tx Transaction) error {
+		tids = append(tids, tx.TID)
+		total += tx.Items.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 5 || tids[0] != 1 || tids[4] != 5 {
+		t.Errorf("tids = %v", tids)
+	}
+	if total != 10 {
+		t.Errorf("total items = %d", total)
+	}
+}
+
+func TestNewMemDBValidates(t *testing.T) {
+	_, err := NewMemDB([]Transaction{{TID: 1, Items: item.Itemset{3, 1}}})
+	if err == nil {
+		t.Fatal("unsorted itemset accepted")
+	}
+	db, err := NewMemDB([]Transaction{{TID: 1, Items: item.New(3, 1)}})
+	if err != nil || db.Count() != 1 {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+}
+
+func TestScanAbort(t *testing.T) {
+	db := sampleDB()
+	boom := errors.New("boom")
+	n := 0
+	err := db.Scan(func(Transaction) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 2 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+	// ScanUntil treats ErrStop as success.
+	n = 0
+	err = ScanUntil(db, func(Transaction) error {
+		n++
+		return ErrStop
+	})
+	if err != nil || n != 1 {
+		t.Errorf("ScanUntil err=%v n=%d", err, n)
+	}
+}
+
+func TestScanShardPartition(t *testing.T) {
+	db := sampleDB()
+	seen := map[int64]int{}
+	for s := 0; s < 3; s++ {
+		err := db.ScanShard(s, 3, func(tx Transaction) error {
+			seen[tx.TID]++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != db.Count() {
+		t.Errorf("shards covered %d txs, want %d", len(seen), db.Count())
+	}
+	for tid, n := range seen {
+		if n != 1 {
+			t.Errorf("tid %d seen %d times", tid, n)
+		}
+	}
+	if err := db.ScanShard(3, 3, func(Transaction) error { return nil }); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	db := sampleDB()
+	var tids []int64
+	if err := db.ScanRange(1, 3, func(tx Transaction) error {
+		tids = append(tids, tx.TID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 2 || tids[0] != 2 || tids[1] != 3 {
+		t.Errorf("tids = %v", tids)
+	}
+	if err := db.ScanRange(4, 2, func(Transaction) error { return nil }); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := db.ScanRange(0, 6, func(Transaction) error { return nil }); err == nil {
+		t.Error("overflow range accepted")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	s, err := Collect(sampleDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Transactions != 5 || s.TotalItems != 10 || s.AvgLen != 2 || s.MaxItem != 9 {
+		t.Errorf("Stats = %+v", s)
+	}
+	empty, err := Collect(FromItemsets())
+	if err != nil || empty.Transactions != 0 || empty.AvgLen != 0 {
+		t.Errorf("empty Stats = %+v err=%v", empty, err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.nmtx")
+	db := sampleDB()
+	if err := WriteFile(path, db); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if f.Count() != db.Count() {
+		t.Errorf("Count = %d, want %d", f.Count(), db.Count())
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := db.Transactions()
+	for i, tx := range got.Transactions() {
+		if tx.TID != want[i].TID || !tx.Items.Equal(want[i].Items) {
+			t.Errorf("record %d: got %v/%v want %v/%v", i, tx.TID, tx.Items, want[i].TID, want[i].Items)
+		}
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	m := &MemDB{}
+	tid := int64(0)
+	for i := 0; i < 500; i++ {
+		tid += int64(r.Intn(5)) // non-decreasing, sometimes equal
+		n := r.Intn(12)
+		items := make([]item.Item, n)
+		for j := range items {
+			items[j] = item.Item(r.Intn(100000))
+		}
+		m.Append(Transaction{TID: tid, Items: item.New(items...)})
+	}
+	path := filepath.Join(t.TempDir(), "r.nmtx")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != m.Count() {
+		t.Fatalf("count %d != %d", got.Count(), m.Count())
+	}
+	for i := range m.Transactions() {
+		a, b := m.Transactions()[i], got.Transactions()[i]
+		if a.TID != b.TID || !a.Items.Equal(b.Items) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFileDBShardedScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.nmtx")
+	if err := WriteFile(path, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for s := 0; s < 2; s++ {
+		err := f.ScanShard(s, 2, func(tx Transaction) error {
+			if seen[tx.TID] {
+				t.Errorf("tid %d seen twice", tx.TID)
+			}
+			seen[tx.TID] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("covered %d of 5", len(seen))
+	}
+}
+
+func TestFileDBScanReusesBuffer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.nmtx")
+	if err := WriteFile(path, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := OpenFile(path)
+	var first item.Itemset
+	i := 0
+	f.Scan(func(tx Transaction) error {
+		if i == 0 {
+			first = tx.Items // deliberately retained without Clone
+		}
+		i++
+		return nil
+	})
+	// The buffer is documented as reused: retained slice must NOT be relied
+	// upon. We simply document the behaviour; the final transaction has 1
+	// item so the retained view is len 3 but contents changed is allowed.
+	_ = first
+}
+
+func TestWriterTIDOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "o.nmtx")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	w, err := NewWriter(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Transaction{TID: 5, Items: item.New(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Transaction{TID: 4, Items: item.New(1)}); err == nil {
+		t.Error("decreasing TID accepted")
+	}
+	if err := w.Write(Transaction{TID: -1, Items: nil}); err == nil {
+		t.Error("negative TID accepted")
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file opened")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("GARBAGE-----"), 0o644)
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	short := filepath.Join(dir, "short")
+	os.WriteFile(short, []byte("NM"), 0o644)
+	if _, err := OpenFile(short); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.nmtx")
+	if err := WriteFile(path, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-3], 0o644)
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err) // header intact
+	}
+	if err := f.Scan(func(Transaction) error { return nil }); err == nil {
+		t.Error("truncated body scanned without error")
+	}
+}
+
+func TestBasketsNamed(t *testing.T) {
+	src := `
+bread milk        # weekly shop
+beer
+bread beer chips
+`
+	dict := item.NewDictionary()
+	db, err := ReadBaskets(strings.NewReader(src), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 3 {
+		t.Fatalf("Count = %d", db.Count())
+	}
+	bread, _ := dict.Lookup("bread")
+	if !db.Transactions()[2].Items.Contains(bread) {
+		t.Error("third basket missing bread")
+	}
+	var buf bytes.Buffer
+	if err := WriteBaskets(&buf, db, dict); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ReadBaskets(&buf, dict)
+	if err != nil || db2.Count() != 3 {
+		t.Fatalf("round trip: %v count=%d", err, db2.Count())
+	}
+	for i := range db.Transactions() {
+		if !db.Transactions()[i].Items.Equal(db2.Transactions()[i].Items) {
+			t.Errorf("basket %d differs", i)
+		}
+	}
+}
+
+func TestBasketsInts(t *testing.T) {
+	db, err := ReadBasketsInts(strings.NewReader("3 1 2\n\n7 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 2 {
+		t.Fatalf("Count = %d", db.Count())
+	}
+	if !db.Transactions()[0].Items.Equal(item.New(1, 2, 3)) {
+		t.Errorf("basket 0 = %v", db.Transactions()[0].Items)
+	}
+	if !db.Transactions()[1].Items.Equal(item.New(7)) {
+		t.Errorf("basket 1 = %v (dup not removed)", db.Transactions()[1].Items)
+	}
+	if _, err := ReadBasketsInts(strings.NewReader("1 x\n")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := ReadBasketsInts(strings.NewReader("-4\n")); err == nil {
+		t.Error("negative accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteBasketsInts(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "1 2 3\n7\n" {
+		t.Errorf("WriteBasketsInts = %q", got)
+	}
+}
+
+func TestInstrumented(t *testing.T) {
+	db := Instrument(sampleDB())
+	for i := 0; i < 3; i++ {
+		if err := db.Scan(func(Transaction) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Passes() != 3 {
+		t.Errorf("Passes = %d", db.Passes())
+	}
+	if err := db.ScanShard(0, 2, func(Transaction) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if db.ShardScans() != 1 {
+		t.Errorf("ShardScans = %d", db.ShardScans())
+	}
+	db.Reset()
+	if db.Passes() != 0 || db.ShardScans() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestThrottled(t *testing.T) {
+	base := sampleDB()
+	th := Throttle(base, 2*time.Millisecond) // 5 tx → ≥10ms per pass
+	start := time.Now()
+	n := 0
+	if err := th.Scan(func(Transaction) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("scanned %d", n)
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Errorf("throttled scan took %v, want ≥10ms", el)
+	}
+	// Sharded scans still cover everything exactly once.
+	seen := map[int64]int{}
+	for s := 0; s < 2; s++ {
+		if err := th.ScanShard(s, 2, func(tx Transaction) error {
+			seen[tx.TID]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("shards covered %d", len(seen))
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.nmtx.gz")
+	db := sampleDB()
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != db.Count() {
+		t.Errorf("Count = %d, want %d", f.Count(), db.Count())
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Transactions()
+	for i, tx := range got.Transactions() {
+		if tx.TID != want[i].TID || !tx.Items.Equal(want[i].Items) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	// Sharded scans work through gzip too.
+	seen := 0
+	for s := 0; s < 2; s++ {
+		if err := f.ScanShard(s, 2, func(Transaction) error { seen++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen != db.Count() {
+		t.Errorf("sharded gzip scan covered %d", seen)
+	}
+	// Compressed file actually is gzip (magic 0x1f8b) and smaller framing.
+	raw, _ := os.ReadFile(path)
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Error("file is not gzip-framed")
+	}
+}
+
+func TestGzipRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.nmtx.gz")
+	os.WriteFile(path, []byte("not gzip at all"), 0o644)
+	if _, err := OpenFile(path); err == nil {
+		t.Error("non-gzip .gz accepted")
+	}
+}
