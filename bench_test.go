@@ -18,6 +18,7 @@ import (
 	"negmine"
 
 	"negmine/internal/bench"
+	"negmine/internal/count"
 	"negmine/internal/gen"
 	"negmine/internal/negative"
 )
@@ -179,6 +180,38 @@ func BenchmarkBackends(b *testing.B) {
 		}
 		return len(res.Large()), nil
 	})
+}
+
+// BenchmarkCountingBackends compares the counting engines — Agrawal-Srikant
+// hash tree vs vertical TID bitmap — on the Improved algorithm's negative
+// stage, Short and Tall presets. cmd/experiments -countbench isolates the
+// same comparison to just the counting pass and records it (with the
+// speedup) in BENCH_counting.json.
+func BenchmarkCountingBackends(b *testing.B) {
+	short, tall := datasets(b)
+	for _, ds := range []*bench.Dataset{short, tall} {
+		for _, backend := range []count.Backend{count.BackendHashTree, count.BackendBitmap} {
+			b.Run(fmt.Sprintf("%s/%s", ds.Name, backend), func(b *testing.B) {
+				var negSec float64
+				for i := 0; i < b.N; i++ {
+					opt := negative.Options{
+						MinSupport: 0.015,
+						MinRI:      0.5,
+						Algorithm:  negative.Improved,
+						Gen:        gen.Options{Algorithm: gen.Cumulate, MaxK: benchMaxK},
+					}
+					opt.Count.Backend = backend
+					opt.Gen.Count.Backend = backend
+					res, err := negative.Mine(ds.DB, ds.Tax, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					negSec += res.Timing.Negative.Seconds()
+				}
+				b.ReportMetric(negSec/float64(b.N), "neg-sec/op")
+			})
+		}
+	}
 }
 
 // BenchmarkAblationTaxonomyCompression measures the improved algorithm with

@@ -6,6 +6,8 @@
 //	experiments -fig 6 -scale 10    # Figure 6: Naive vs Better, "Tall"
 //	experiments -fig 7 -scale 10    # Figure 7: candidates vs fanout
 //	experiments -all -scale 10      # everything
+//	experiments -countbench -countout BENCH_counting.json
+//	                                # counting-backend ablation (hashtree vs bitmap)
 //
 // -scale divides the transaction count (50,000 at scale 1) while keeping
 // the paper's 8,000-item universe, so relative supports — and hence every
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"negmine/internal/bench"
+	"negmine/internal/count"
 	"negmine/internal/gen"
 	"negmine/internal/negative"
 )
@@ -45,8 +48,12 @@ func run(args []string, out io.Writer) error {
 		minsups  = fs.String("minsups", "2,1.5,1,0.75,0.5", "support levels in percent for figures 5/6")
 		maxK     = fs.Int("maxk", 0, "stage-1 level cap (0 = unlimited)")
 		parallel = fs.Int("parallel", 1, "counting workers")
+		backend  = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
 		disk     = fs.Bool("disk", false, "stream transactions from disk on every pass (the paper's setting)")
 		slowIO   = fs.Int("slowio", 0, "simulated scan cost in µs per transaction (0 = off); models the paper's 1995 disk-bound regime")
+		cbench   = fs.Bool("countbench", false, "time the Improved counting pass under both backends (hashtree vs bitmap)")
+		cbenchOut = fs.String("countout", "", "also write the -countbench results as JSON to this file (e.g. BENCH_counting.json)")
+		reps     = fs.Int("reps", 3, "repetitions per -countbench measurement (best time kept)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,12 +79,16 @@ func run(args []string, out io.Writer) error {
 		figs["5"], figs["6"], figs["7"] = true, true, true
 		tables["1"], tables["2"] = true, true
 	}
-	if len(figs) == 0 && len(tables) == 0 {
+	if len(figs) == 0 && len(tables) == 0 && !*cbench {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -fig, -table or -all")
+		return fmt.Errorf("nothing selected; use -fig, -table, -countbench or -all")
 	}
 
 	sups, err := parseFloats(*minsups)
+	if err != nil {
+		return err
+	}
+	countBackend, err := count.ParseBackend(*backend)
 	if err != nil {
 		return err
 	}
@@ -87,6 +98,7 @@ func run(args []string, out io.Writer) error {
 		GenAlg:     gen.Cumulate,
 		MaxK:       *maxK,
 		Parallel:   *parallel,
+		Backend:    countBackend,
 	}
 
 	if tables["1"] || tables["2"] {
@@ -185,6 +197,41 @@ func run(args []string, out io.Writer) error {
 		for k := 2; k <= 4; k++ {
 			fmt.Fprintf(out, "  k=%d: fanout 9 → %.0f, fanout 3 → %.0f\n",
 				k, negative.EstimateCandidates(k, 9), negative.EstimateCandidates(k, 3))
+		}
+		fmt.Fprintln(out)
+	}
+	if *cbench {
+		fmt.Fprintln(out, "=== Counting backends — Improved negative pass, hashtree vs bitmap ===")
+		pct := 1.0
+		if len(sups) > 0 {
+			pct = sups[len(sups)/2]
+		}
+		var cmps []*bench.CountingComparison
+		for _, name := range []string{"Short", "Tall"} {
+			ds, err := need(name)
+			if err != nil {
+				return err
+			}
+			cmp, err := bench.RunCountingBackends(ds, pct, *minRI, gen.Cumulate, *maxK, *parallel, *reps)
+			if err != nil {
+				return err
+			}
+			cmps = append(cmps, cmp)
+		}
+		bench.PrintCounting(out, cmps)
+		if *cbenchOut != "" {
+			f, err := os.Create(*cbenchOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteCountingJSON(f, *scale, cmps); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *cbenchOut)
 		}
 		fmt.Fprintln(out)
 	}

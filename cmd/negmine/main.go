@@ -18,6 +18,7 @@
 //	-positive      also mine and print positive generalized rules
 //	-negatives     print confirmed negative itemsets as well as rules
 //	-parallel n    counting workers (default 1)
+//	-backend name  counting backend: auto (default), hashtree or bitmap
 //	-maxk n        cap large-itemset size (0 = unlimited)
 package main
 
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		positive  = fs.Bool("positive", false, "also mine positive generalized rules")
 		negatives = fs.Bool("negatives", false, "print negative itemsets too")
 		parallel  = fs.Int("parallel", 1, "counting workers")
+		backend   = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
 		maxK      = fs.Int("maxk", 0, "cap large-itemset size (0 = unlimited)")
 		format    = fs.String("format", "text", "output format: text, json or csv")
 		subsPath  = fs.String("subs", "", "substitute-group file: one group of item names per line")
@@ -118,6 +120,12 @@ func run(args []string, out io.Writer) error {
 	}
 	opt.Count.Parallelism = *parallel
 	opt.Gen.Count.Parallelism = *parallel
+	countBackend, err := negmine.ParseCountBackend(*backend)
+	if err != nil {
+		return err
+	}
+	opt.Count.Backend = countBackend
+	opt.Gen.Count.Backend = countBackend
 	switch strings.ToLower(*filter) {
 	case "deviation":
 	case "absolute":

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"negmine/internal/count"
 	"negmine/internal/datagen"
 	"negmine/internal/gen"
 	"negmine/internal/negative"
@@ -116,6 +117,7 @@ type TimingConfig struct {
 	GenAlg     gen.Algorithm // stage-1 algorithm (Basic or Cumulate for Naive)
 	MaxK       int           // optional stage-1 level cap (0 = none)
 	Parallel   int           // counting workers
+	Backend    count.Backend // counting backend (auto picks per-database)
 }
 
 // RunTimings executes the Figure 5/6 experiment on ds: for each support
@@ -134,6 +136,8 @@ func RunTimings(ds *Dataset, cfg TimingConfig) ([]TimingRow, error) {
 			}
 			opt.Count.Parallelism = cfg.Parallel
 			opt.Gen.Count.Parallelism = cfg.Parallel
+			opt.Count.Backend = cfg.Backend
+			opt.Gen.Count.Backend = cfg.Backend
 			res, err := negative.Mine(ds.DB, ds.Tax, opt)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s minsup %.2f%% %v: %w", ds.Name, pct, alg, err)

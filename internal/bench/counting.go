@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"negmine/internal/count"
+	"negmine/internal/gen"
+	"negmine/internal/item"
+	"negmine/internal/negative"
+)
+
+// CountingBackendRow is one backend's measurement of the Improved
+// algorithm's headline pass: counting negative candidates of every size in
+// one scan.
+type CountingBackendRow struct {
+	Dataset    string  `json:"dataset"`
+	Backend    string  `json:"backend"`
+	Groups     int     `json:"groups"`     // candidate size groups in the pass
+	Candidates int     `json:"candidates"` // total candidates counted
+	Seconds    float64 `json:"seconds"`    // best-of-reps wall time of the pass
+}
+
+// CountingComparison is the BENCH_counting.json payload for one dataset:
+// both backends on the identical pass, plus the derived speedup.
+type CountingComparison struct {
+	Dataset   string               `json:"dataset"`
+	MinSupPct float64              `json:"minsup_pct"`
+	MinRI     float64              `json:"minri"`
+	Parallel  int                  `json:"parallel"`
+	Rows      []CountingBackendRow `json:"rows"`
+	// Speedup is hashtree seconds / bitmap seconds (> 1 means bitmap wins).
+	Speedup float64 `json:"speedup_bitmap_over_hashtree"`
+}
+
+// RunCountingBackends isolates the Improved algorithm's negative counting
+// pass on ds and times it under the hash-tree and bitmap backends. Stage 1
+// (large itemsets) and candidate generation run once; the timed region is
+// exactly the count.MultiTransformed call the miner issues, repeated reps
+// times with the best time kept. Both backends count the identical
+// candidate groups with the identical transforms, so the comparison is
+// pure engine throughput.
+func RunCountingBackends(ds *Dataset, minSupPct, minRI float64, genAlg gen.Algorithm, maxK, parallel, reps int) (*CountingComparison, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	gopt := gen.Options{MinSupport: minSupPct / 100, Algorithm: genAlg, MaxK: maxK}
+	gopt.Count.Parallelism = parallel
+	large, err := gen.Mine(ds.DB, ds.Tax, gopt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: stage 1 on %s: %w", ds.Name, err)
+	}
+	if len(large.Levels) < 2 {
+		return nil, fmt.Errorf("bench: %s has no large itemsets beyond L1 at minsup %.2f%%; lower the support", ds.Name, minSupPct)
+	}
+	gtax := ds.Tax.Restrict(func(x item.Item) bool {
+		return large.Table.Contains(item.Itemset{x})
+	})
+	cands := negative.GenerateCandidates(large.Levels, large.Table, gtax, minSupPct/100, minRI, nil)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("bench: %s generated no negative candidates at minsup %.2f%%", ds.Name, minSupPct)
+	}
+
+	// Group by itemset size exactly as the miner's counting pass does.
+	bySize := map[int][]item.Itemset{}
+	for _, c := range cands {
+		bySize[c.Set.Len()] = append(bySize[c.Set.Len()], c.Set)
+	}
+	sizes := make([]int, 0, len(bySize))
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	groups := make([][]item.Itemset, len(sizes))
+	transforms := make([]count.TransformInto, len(sizes))
+	for gi, s := range sizes {
+		groups[gi] = bySize[s]
+		transforms[gi] = gen.ExtendTransform(ds.Tax, bySize[s])
+	}
+
+	cmp := &CountingComparison{
+		Dataset:   ds.Name,
+		MinSupPct: minSupPct,
+		MinRI:     minRI,
+		Parallel:  parallel,
+	}
+	var baseline [][]int
+	for _, backend := range []count.Backend{count.BackendHashTree, count.BackendBitmap} {
+		cnt := count.Options{Parallelism: parallel, Backend: backend, Tax: ds.Tax}
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			counts, err := count.MultiTransformed(ds.DB, groups, transforms, cnt)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s backend on %s: %w", backend, ds.Name, err)
+			}
+			if baseline == nil {
+				baseline = counts
+			} else if err := sameCounts(baseline, counts); err != nil {
+				return nil, fmt.Errorf("bench: %s backend disagrees on %s: %w", backend, ds.Name, err)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		cmp.Rows = append(cmp.Rows, CountingBackendRow{
+			Dataset:    ds.Name,
+			Backend:    backend.String(),
+			Groups:     len(groups),
+			Candidates: len(cands),
+			Seconds:    best.Seconds(),
+		})
+	}
+	if bm := cmp.Rows[1].Seconds; bm > 0 {
+		cmp.Speedup = cmp.Rows[0].Seconds / bm
+	}
+	return cmp, nil
+}
+
+// sameCounts verifies two backends produced identical count matrices — the
+// benchmark doubles as a large-scale equivalence check.
+func sameCounts(a, b [][]int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d groups", len(a), len(b))
+	}
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			return fmt.Errorf("group %d: %d vs %d candidates", g, len(a[g]), len(b[g]))
+		}
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				return fmt.Errorf("group %d candidate %d: %d vs %d", g, i, a[g][i], b[g][i])
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCountingJSON renders backend comparisons as the indented JSON stored
+// in BENCH_counting.json.
+func WriteCountingJSON(w io.Writer, scale int, cmps []*CountingComparison) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Description string                `json:"description"`
+		Scale       int                   `json:"scale"`
+		Comparisons []*CountingComparison `json:"comparisons"`
+	}{
+		Description: "Improved-algorithm negative counting pass: hash-tree vs vertical bitmap backend (best-of-reps wall time; produced by cmd/experiments -countbench)",
+		Scale:       scale,
+		Comparisons: cmps,
+	})
+}
+
+// PrintCounting renders a backend comparison as a human-readable table.
+func PrintCounting(w io.Writer, cmps []*CountingComparison) {
+	for _, c := range cmps {
+		fmt.Fprintf(w, "%s (minsup %.2f%%, %d workers): ", c.Dataset, c.MinSupPct, c.Parallel)
+		for i, r := range c.Rows {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s %.4fs (%d candidates)", r.Backend, r.Seconds, r.Candidates)
+		}
+		fmt.Fprintf(w, " → bitmap speedup %.2fx\n", c.Speedup)
+	}
+}

@@ -1,8 +1,11 @@
 // Package count is the support-counting engine shared by every mining
 // algorithm in the library (Apriori, the generalized miners, the Partition
-// algorithm and the negative-itemset pass). It pairs the hash tree with a
-// transaction transform hook (e.g. extending a transaction with its
-// taxonomy ancestors) and optional parallel sharded scans.
+// algorithm and the negative-itemset pass). Counting runs through a
+// pluggable Engine: the Agrawal–Srikant hash tree (per-transaction subset
+// probing, works over any database) or the vertical TID-bitmap matrix of
+// internal/bitmat (AND+popcount per candidate, memory-resident databases).
+// Options.Backend selects the engine; the default Auto heuristic is
+// documented on EngineFor.
 package count
 
 import (
@@ -11,20 +14,41 @@ import (
 	"sync"
 
 	"negmine/internal/item"
+	"negmine/internal/taxonomy"
 	"negmine/internal/txdb"
 )
 
 // Options controls a counting pass.
 type Options struct {
-	// Parallelism is the number of concurrent scan workers. Values < 2 (or
-	// a database that cannot shard) select a single sequential scan.
+	// Parallelism is the number of concurrent workers. For the hash-tree
+	// engine values < 2 (or a database that cannot shard) select a single
+	// sequential scan; the bitmap engine always builds with one scan and
+	// shards candidates across this many workers.
 	Parallelism int
 	// MaxLeaf is the hash tree leaf capacity (0 = default).
 	MaxLeaf int
 	// Transform, if non-nil, maps each transaction's itemset before
 	// counting (the Cumulate ancestor extension, a filter, ...). It must be
-	// safe for concurrent calls when Parallelism > 1.
+	// safe for concurrent calls when Parallelism > 1. New code should
+	// prefer TransformInto, which avoids a per-transaction allocation.
 	Transform func(item.Itemset) item.Itemset
+	// TransformInto is the allocation-free form of Transform: engines pass
+	// a reusable per-worker buffer as dst. It takes precedence over
+	// Transform when both are set.
+	TransformInto TransformInto
+	// Backend selects the counting engine; the zero value is BackendAuto.
+	Backend Backend
+	// BitmapBudget caps the bitmap matrix size in bytes for BackendAuto
+	// selection (0 = DefaultBitmapBudget). An explicit BackendBitmap
+	// ignores the budget.
+	BitmapBudget int64
+	// Tax, if non-nil, declares that the installed transforms (shared or
+	// per-group) are taxonomy ancestor extensions — possibly filtered down
+	// to candidate items — under this taxonomy. The declaration lets the
+	// bitmap engine materialize ancestor-closure rows directly and skip the
+	// transforms; the hash-tree engine ignores it. Setting Tax alongside a
+	// transform that is not such an extension is a caller bug.
+	Tax *taxonomy.Taxonomy
 }
 
 // Auto selects runtime.NumCPU() workers.
@@ -44,23 +68,22 @@ func Candidates(db txdb.DB, cands []item.Itemset, opt Options) ([]int, error) {
 	return res[0], nil
 }
 
-func transform(opt Options, s item.Itemset) item.Itemset {
-	if opt.Transform == nil {
-		return s
-	}
-	return opt.Transform(s)
-}
-
 // Singletons counts every distinct item appearing in db's (transformed)
-// transactions. Unlike Candidates it needs no candidate list: it is the L1
-// pass of every Apriori-family algorithm.
+// transactions. Unlike Candidates it needs no candidate list — it is the L1
+// pass of every Apriori-family algorithm — and for the same reason it
+// always counts with a per-worker map counter regardless of Backend: the
+// bitmap engine needs the item universe up front, which is exactly what
+// this pass discovers.
 func Singletons(db txdb.DB, opt Options) (*item.Counter, error) {
 	sharder, canShard := db.(txdb.Sharder)
 	workers := opt.Parallelism
 	if workers < 2 || !canShard {
 		c := item.NewCounter()
+		buf := make([]item.Item, 0, 64)
 		err := db.Scan(func(tx txdb.Transaction) error {
-			addSingles(c, transform(opt, tx.Items))
+			var s item.Itemset
+			s, buf = applyShared(opt, buf, tx.Items)
+			addSingles(c, s)
 			return nil
 		})
 		if err != nil {
@@ -77,8 +100,11 @@ func Singletons(db txdb.DB, opt Options) (*item.Counter, error) {
 			defer wg.Done()
 			c := item.NewCounter()
 			counters[w] = c
+			buf := make([]item.Item, 0, 64)
 			errs[w] = sharder.ScanShard(w, workers, func(tx txdb.Transaction) error {
-				addSingles(c, transform(opt, tx.Items))
+				var s item.Itemset
+				s, buf = applyShared(opt, buf, tx.Items)
+				addSingles(c, s)
 				return nil
 			})
 		}(w)

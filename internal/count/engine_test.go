@@ -1,0 +1,261 @@
+package count
+
+import (
+	"math/rand"
+	"testing"
+
+	"negmine/internal/hashtree"
+	"negmine/internal/item"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// testTax builds a two-level taxonomy whose leaves are the first nLeaves
+// interned ids (grouped under one category per 4 leaves).
+func testTax(t testing.TB, nLeaves int) (*taxonomy.Taxonomy, item.Itemset) {
+	t.Helper()
+	b := taxonomy.NewBuilder()
+	var leaves []item.Item
+	for i := 0; i < nLeaves; i++ {
+		cat := "cat" + string(rune('A'+i/4))
+		_, leaf := b.Link(cat, "leaf"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		leaves = append(leaves, leaf)
+	}
+	tax, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tax, item.New(leaves...)
+}
+
+// leafDB builds a random database over the given leaf ids.
+func leafDB(seed int64, leaves item.Itemset, nTx, maxLen int) *txdb.MemDB {
+	r := rand.New(rand.NewSource(seed))
+	db := &txdb.MemDB{}
+	for i := 0; i < nTx; i++ {
+		n := 1 + r.Intn(maxLen)
+		raw := make([]item.Item, n)
+		for j := range raw {
+			raw[j] = leaves[r.Intn(leaves.Len())]
+		}
+		db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+	}
+	return db
+}
+
+func randomGroups(r *rand.Rand, universe item.Itemset, nGroups int) [][]item.Itemset {
+	groups := make([][]item.Itemset, nGroups)
+	for g := range groups {
+		size := g + 1
+		seen := map[item.Key]bool{}
+		for len(groups[g]) < 10+r.Intn(20) {
+			raw := make([]item.Item, size)
+			for j := range raw {
+				raw[j] = universe[r.Intn(universe.Len())]
+			}
+			c := item.New(raw...)
+			if c.Len() == size && !seen[c.Key()] {
+				seen[c.Key()] = true
+				groups[g] = append(groups[g], c)
+			}
+		}
+	}
+	return groups
+}
+
+// TestBackendsAgreeOnRandomDBs is the cross-backend oracle: both engines
+// must return identical counts for the same randomized pass, with and
+// without a shared transform, sequentially and in parallel.
+func TestBackendsAgreeOnRandomDBs(t *testing.T) {
+	for trial := int64(0); trial < 4; trial++ {
+		r := rand.New(rand.NewSource(100 + trial))
+		db := randomDB(200+trial, 150+int(trial)*37, 40, 10)
+		universe := make(item.Itemset, 40)
+		for i := range universe {
+			universe[i] = item.Item(i)
+		}
+		groups := randomGroups(r, universe, 3)
+		for _, parallel := range []int{1, 4} {
+			for name, tr := range map[string]TransformInto{
+				"identity": nil,
+				"shift": func(dst []item.Item, s item.Itemset) item.Itemset {
+					for _, x := range s {
+						dst = append(dst, x, (x+7)%40)
+					}
+					return item.SortDedup(dst)
+				},
+			} {
+				ht, err := HashTreeEngine{}.Multi(db, groups, nil, Options{Parallelism: parallel, TransformInto: tr})
+				if err != nil {
+					t.Fatalf("hashtree: %v", err)
+				}
+				bm, err := BitmapEngine{}.Multi(db, groups, nil, Options{Parallelism: parallel, TransformInto: tr})
+				if err != nil {
+					t.Fatalf("bitmap: %v", err)
+				}
+				for g := range groups {
+					for i := range groups[g] {
+						if ht[g][i] != bm[g][i] {
+							t.Fatalf("trial %d %s parallel=%d: group %d cand %v: hashtree %d, bitmap %d",
+								trial, name, parallel, g, groups[g][i], ht[g][i], bm[g][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendsAgreeWithTaxonomy checks the ancestor-closure fast path:
+// per-group ancestor-extension transforms plus the Tax declaration must
+// give the bitmap engine the same counts the hash tree gets by applying
+// the transforms.
+func TestBackendsAgreeWithTaxonomy(t *testing.T) {
+	tax, leaves := testTax(t, 16)
+	db := leafDB(42, leaves, 300, 8)
+	r := rand.New(rand.NewSource(43))
+	universe := leaves.Union(tax.Categories())
+	groups := randomGroups(r, universe, 3)
+	extend := func(dst []item.Item, s item.Itemset) item.Itemset { return tax.ExtendInto(dst, s) }
+	transforms := make([]TransformInto, len(groups))
+	for g := range transforms {
+		transforms[g] = extend
+	}
+	opt := Options{Tax: tax}
+	ht, err := HashTreeEngine{}.Multi(db, groups, transforms, opt)
+	if err != nil {
+		t.Fatalf("hashtree: %v", err)
+	}
+	bm, err := BitmapEngine{}.Multi(db, groups, transforms, opt)
+	if err != nil {
+		t.Fatalf("bitmap: %v", err)
+	}
+	for g := range groups {
+		for i := range groups[g] {
+			if ht[g][i] != bm[g][i] {
+				t.Fatalf("group %d cand %v: hashtree %d, bitmap %d", g, groups[g][i], ht[g][i], bm[g][i])
+			}
+		}
+	}
+}
+
+func TestBitmapRejectsOpaquePerGroupTransforms(t *testing.T) {
+	db := randomDB(1, 20, 10, 5)
+	groups := [][]item.Itemset{{item.New(1, 2)}}
+	transforms := []TransformInto{func(dst []item.Item, s item.Itemset) item.Itemset { return s }}
+	if _, err := (BitmapEngine{}).Multi(db, groups, transforms, Options{}); err == nil {
+		t.Fatal("expected error for per-group transforms without Tax")
+	}
+}
+
+func TestEngineForSelection(t *testing.T) {
+	db := randomDB(2, 100, 20, 6)
+	groups := [][]item.Itemset{{item.New(1, 2), item.New(3, 4)}}
+	perGroup := []TransformInto{func(dst []item.Item, s item.Itemset) item.Itemset { return s }}
+	tax, _ := testTax(t, 8)
+	cases := []struct {
+		name       string
+		db         txdb.DB
+		transforms []TransformInto
+		opt        Options
+		want       string
+	}{
+		{"auto memdb", db, nil, Options{}, "bitmap"},
+		{"explicit hashtree", db, nil, Options{Backend: BackendHashTree}, "hashtree"},
+		{"explicit bitmap on wrapped db", txdb.Instrument(db), nil, Options{Backend: BackendBitmap}, "bitmap"},
+		{"auto wrapped db", txdb.Instrument(db), nil, Options{}, "hashtree"},
+		{"auto over budget", db, nil, Options{BitmapBudget: 1}, "hashtree"},
+		{"auto per-group no tax", db, perGroup, Options{}, "hashtree"},
+		{"auto per-group with tax", db, perGroup, Options{Tax: tax}, "bitmap"},
+	}
+	for _, tc := range cases {
+		if got := EngineFor(tc.db, groups, tc.transforms, tc.opt).Name(); got != tc.want {
+			t.Errorf("%s: EngineFor = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for s, want := range map[string]Backend{
+		"":         BackendAuto,
+		"auto":     BackendAuto,
+		"hashtree": BackendHashTree,
+		"Bitmap":   BackendBitmap,
+	} {
+		got, err := ParseBackend(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("Backend(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseBackend("btree"); err == nil {
+		t.Error("ParseBackend(btree): expected error")
+	}
+}
+
+// TestCountingAllocationFree pins the steady-state guarantee of the
+// hash-tree engine's per-transaction path: with a TransformInto installed
+// (shared and per-group), probing allocates nothing once buffers are warm.
+func TestCountingAllocationFree(t *testing.T) {
+	tax, leaves := testTax(t, 16)
+	db := leafDB(7, leaves, 60, 8)
+	r := rand.New(rand.NewSource(8))
+	universe := leaves.Union(tax.Categories())
+	groups := randomGroups(r, universe, 3)
+	trees := make([]*hashtree.Tree, len(groups))
+	for g, cands := range groups {
+		tr, err := hashtree.Build(cands, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[g] = tr
+	}
+	extend := func(dst []item.Item, s item.Itemset) item.Itemset { return tax.ExtendInto(dst, s) }
+	txs := db.Transactions()
+
+	w := newHashTreeWorker(trees)
+	opt := Options{TransformInto: extend}
+	warm := func(transforms []TransformInto) {
+		for _, tx := range txs {
+			w.addAll(transforms, opt, tx.Items)
+		}
+	}
+	warm(nil)
+	if allocs := testing.AllocsPerRun(50, func() { warm(nil) }); allocs != 0 {
+		t.Fatalf("shared-transform counting allocated %v times per run, want 0", allocs)
+	}
+	transforms := []TransformInto{extend, extend, extend}
+	warm(transforms)
+	if allocs := testing.AllocsPerRun(50, func() { warm(transforms) }); allocs != 0 {
+		t.Fatalf("per-group-transform counting allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestSharedTransformComputedOncePerTransaction pins the MultiTransformed
+// fix: groups without their own transform share one transformed itemset per
+// transaction instead of re-running the extension per group.
+func TestSharedTransformComputedOncePerTransaction(t *testing.T) {
+	db := randomDB(9, 25, 15, 6)
+	groups := [][]item.Itemset{
+		{item.New(1, 2)},
+		{item.New(1, 2, 3)},
+		{item.New(2, 3, 4, 5)},
+	}
+	calls := 0
+	opt := Options{
+		Backend: BackendHashTree,
+		TransformInto: func(dst []item.Item, s item.Itemset) item.Itemset {
+			calls++
+			return append(dst, s...)
+		},
+	}
+	if _, err := MultiTransformed(db, groups, nil, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls != db.Count() {
+		t.Fatalf("shared transform ran %d times for %d transactions × %d groups, want %d",
+			calls, db.Count(), len(groups), db.Count())
+	}
+}

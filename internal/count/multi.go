@@ -23,9 +23,73 @@ func Multi(db txdb.DB, groups [][]item.Itemset, opt Options) ([][]int, error) {
 // transform. A narrower transform per group (e.g. extending a transaction
 // only with the ancestors relevant to that group's candidates) keeps each
 // hash tree's probe width as small as a dedicated pass would, while still
-// paying for only one scan. transforms may be nil (use opt.Transform for
-// every group); individual entries may be nil too.
-func MultiTransformed(db txdb.DB, groups [][]item.Itemset, transforms []func(item.Itemset) item.Itemset, opt Options) ([][]int, error) {
+// paying for only one scan. transforms may be nil (use the shared
+// Options.TransformInto/Transform for every group); individual entries may
+// be nil too. The counting engine is chosen per Options.Backend (see
+// EngineFor).
+func MultiTransformed(db txdb.DB, groups [][]item.Itemset, transforms []TransformInto, opt Options) ([][]int, error) {
+	if transforms != nil && len(transforms) != len(groups) {
+		return nil, fmt.Errorf("count: %d transforms for %d groups", len(transforms), len(groups))
+	}
+	return EngineFor(db, groups, transforms, opt).Multi(db, groups, transforms, opt)
+}
+
+// HashTreeEngine counts by probing one Agrawal–Srikant hash tree per group
+// against every (transformed) transaction. It is the paper-faithful scan
+// engine: it works over any DB and any transform, and parallelizes by
+// sharding transactions across workers with per-worker counters merged at
+// the end.
+type HashTreeEngine struct{}
+
+// Name implements Engine.
+func (HashTreeEngine) Name() string { return "hashtree" }
+
+// hashTreeWorker is the per-goroutine counting state: one counter per
+// group plus the scratch buffers that make steady-state counting
+// allocation-free. The shared buffer holds the transaction transformed by
+// the shared Options transform — computed once per transaction and reused
+// by every group without its own transform (several groups re-running the
+// same ancestor extension was a measured hot spot); the group buffer holds
+// the current per-group transform's output.
+type hashTreeWorker struct {
+	cs   []*hashtree.Counter
+	buf  []item.Item // shared-transform scratch
+	gbuf []item.Item // per-group-transform scratch
+}
+
+func newHashTreeWorker(trees []*hashtree.Tree) *hashTreeWorker {
+	w := &hashTreeWorker{
+		cs:   make([]*hashtree.Counter, len(trees)),
+		buf:  make([]item.Item, 0, 64),
+		gbuf: make([]item.Item, 0, 64),
+	}
+	for i, t := range trees {
+		w.cs[i] = t.NewCounter()
+	}
+	return w
+}
+
+// addAll probes one raw transaction against every group's tree.
+func (w *hashTreeWorker) addAll(transforms []TransformInto, opt Options, raw item.Itemset) {
+	var shared item.Itemset
+	sharedDone := false
+	for g, c := range w.cs {
+		if transforms != nil && transforms[g] != nil {
+			s := transforms[g](w.gbuf[:0], raw)
+			c.Add(s)
+			w.gbuf = s[:0]
+			continue
+		}
+		if !sharedDone {
+			shared, w.buf = applyShared(opt, w.buf, raw)
+			sharedDone = true
+		}
+		c.Add(shared)
+	}
+}
+
+// Multi implements Engine.
+func (HashTreeEngine) Multi(db txdb.DB, groups [][]item.Itemset, transforms []TransformInto, opt Options) ([][]int, error) {
 	if transforms != nil && len(transforms) != len(groups) {
 		return nil, fmt.Errorf("count: %d transforms for %d groups", len(transforms), len(groups))
 	}
@@ -37,50 +101,32 @@ func MultiTransformed(db txdb.DB, groups [][]item.Itemset, transforms []func(ite
 		}
 		trees[g] = t
 	}
-	groupTransform := func(g int, s item.Itemset) item.Itemset {
-		if transforms != nil && transforms[g] != nil {
-			return transforms[g](s)
-		}
-		return transform(opt, s)
-	}
-	newCounters := func() []*hashtree.Counter {
-		cs := make([]*hashtree.Counter, len(trees))
-		for i, t := range trees {
-			cs[i] = t.NewCounter()
-		}
-		return cs
-	}
-	addAll := func(cs []*hashtree.Counter, raw item.Itemset) {
-		for g, c := range cs {
-			c.Add(groupTransform(g, raw))
-		}
-	}
 
 	sharder, canShard := db.(txdb.Sharder)
 	workers := opt.Parallelism
 	if workers < 2 || !canShard {
-		cs := newCounters()
+		w := newHashTreeWorker(trees)
 		err := db.Scan(func(tx txdb.Transaction) error {
-			addAll(cs, tx.Items)
+			w.addAll(transforms, opt, tx.Items)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		return collect(cs), nil
+		return collect(w.cs), nil
 	}
 
-	all := make([][]*hashtree.Counter, workers)
+	all := make([]*hashTreeWorker, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(wi int) {
 			defer wg.Done()
-			cs := newCounters()
-			all[w] = cs
-			errs[w] = sharder.ScanShard(w, workers, func(tx txdb.Transaction) error {
-				addAll(cs, tx.Items)
+			w := newHashTreeWorker(trees)
+			all[wi] = w
+			errs[wi] = sharder.ScanShard(wi, workers, func(tx txdb.Transaction) error {
+				w.addAll(transforms, opt, tx.Items)
 				return nil
 			})
 		}(w)
@@ -93,10 +139,10 @@ func MultiTransformed(db txdb.DB, groups [][]item.Itemset, transforms []func(ite
 	}
 	for w := 1; w < workers; w++ {
 		for g := range trees {
-			all[0][g].Merge(all[w][g])
+			all[0].cs[g].Merge(all[w].cs[g])
 		}
 	}
-	return collect(all[0]), nil
+	return collect(all[0].cs), nil
 }
 
 func collect(cs []*hashtree.Counter) [][]int {

@@ -48,17 +48,20 @@ func BenchmarkTransforms(b *testing.B) {
 		all[item.Item(x)] = struct{}{}
 	}
 	cum := cumulateTransform(tax, all)
+	buf := make([]item.Item, 0, 256)
 	b.Run("basic-walk", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, tx := range txs {
-				basic(tx.Items)
+				s := basic(buf[:0], tx.Items)
+				buf = s[:0]
 			}
 		}
 	})
 	b.Run("cumulate-cached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, tx := range txs {
-				cum(tx.Items)
+				s := cum(buf[:0], tx.Items)
+				buf = s[:0]
 			}
 		}
 	})

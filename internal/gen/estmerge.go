@@ -85,7 +85,7 @@ func mineEstMerge(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*apriori.Res
 		var expLarge, expSmall []item.Itemset
 		if len(cands) > 0 {
 			cnt := opt.Count
-			cnt.Transform = transformFor(Cumulate, tax, cands)
+			installTransform(&cnt, Cumulate, tax, cands)
 			est, err := count.Candidates(sample, cands, cnt)
 			if err != nil {
 				return nil, err
@@ -104,7 +104,7 @@ func mineEstMerge(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*apriori.Res
 		var expCounts, defCounts []int
 		if len(expLarge)+len(deferred) > 0 {
 			cnt := opt.Count
-			cnt.Transform = transformFor(opt.Algorithm, tax, expLarge, deferred)
+			installTransform(&cnt, opt.Algorithm, tax, expLarge, deferred)
 			counts, err := count.Multi(db, [][]item.Itemset{expLarge, deferred}, cnt)
 			if err != nil {
 				return nil, err
@@ -145,7 +145,7 @@ func mineEstMerge(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*apriori.Res
 			}
 			if len(missing) > 0 {
 				cnt := opt.Count
-				cnt.Transform = transformFor(opt.Algorithm, tax, missing)
+				installTransform(&cnt, opt.Algorithm, tax, missing)
 				counts, err := count.Candidates(db, missing, cnt)
 				if err != nil {
 					return nil, err
@@ -171,7 +171,7 @@ func mineEstMerge(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*apriori.Res
 		k := deferred[0].Len()
 		if k <= opt.MaxK {
 			cnt := opt.Count
-			cnt.Transform = transformFor(opt.Algorithm, tax, deferred)
+			installTransform(&cnt, opt.Algorithm, tax, deferred)
 			counts, err := count.Candidates(db, deferred, cnt)
 			if err != nil {
 				return nil, err

@@ -87,7 +87,7 @@ func (o Options) validate() error {
 	if o.MaxK < 0 {
 		return fmt.Errorf("gen: MaxK = %d, want ≥ 0", o.MaxK)
 	}
-	if o.Count.Transform != nil {
+	if o.Count.Transform != nil || o.Count.TransformInto != nil {
 		return fmt.Errorf("gen: Count.Transform must be nil (set by the algorithm)")
 	}
 	if o.Margin < 0 || o.Margin >= 1 {
@@ -121,35 +121,33 @@ func Mine(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*apriori.Result, err
 // basicTransform extends a transaction with all ancestors of its items,
 // recomputing the closure by parent-chain walks (no precomputation — the
 // Basic algorithm's behaviour).
-func basicTransform(tax *taxonomy.Taxonomy) func(item.Itemset) item.Itemset {
-	return func(s item.Itemset) item.Itemset {
-		var out []item.Item
+func basicTransform(tax *taxonomy.Taxonomy) count.TransformInto {
+	return func(dst []item.Item, s item.Itemset) item.Itemset {
 		for _, x := range s {
-			out = append(out, x)
+			dst = append(dst, x)
 			for p := tax.Parent(x); p != item.None; p = tax.Parent(p) {
-				out = append(out, p)
+				dst = append(dst, p)
 			}
 		}
-		return item.New(out...)
+		return item.SortDedup(dst)
 	}
 }
 
 // cumulateTransform extends a transaction using the precomputed ancestor
 // closure, keeping only items that occur in some current candidate.
-func cumulateTransform(tax *taxonomy.Taxonomy, used map[item.Item]struct{}) func(item.Itemset) item.Itemset {
-	return func(s item.Itemset) item.Itemset {
-		var out []item.Item
+func cumulateTransform(tax *taxonomy.Taxonomy, used map[item.Item]struct{}) count.TransformInto {
+	return func(dst []item.Item, s item.Itemset) item.Itemset {
 		for _, x := range s {
 			if _, ok := used[x]; ok {
-				out = append(out, x)
+				dst = append(dst, x)
 			}
 			for _, a := range tax.AncestorsOf(x) {
 				if _, ok := used[a]; ok {
-					out = append(out, a)
+					dst = append(dst, a)
 				}
 			}
 		}
-		return item.New(out...)
+		return item.SortDedup(dst)
 	}
 }
 
@@ -168,19 +166,30 @@ func usedItems(groups ...[]item.Itemset) map[item.Item]struct{} {
 
 // transformFor returns the per-pass transaction transform for alg given the
 // candidate groups about to be counted.
-func transformFor(alg Algorithm, tax *taxonomy.Taxonomy, groups ...[]item.Itemset) func(item.Itemset) item.Itemset {
+func transformFor(alg Algorithm, tax *taxonomy.Taxonomy, groups ...[]item.Itemset) count.TransformInto {
 	if alg == Basic {
 		return basicTransform(tax)
 	}
 	return cumulateTransform(tax, usedItems(groups...))
 }
 
+// installTransform configures cnt for a pass over the given candidate
+// groups: the algorithm's ancestor extension as the shared transform, plus
+// the taxonomy declaration that lets the bitmap backend build its
+// ancestor-closure rows directly instead of applying the transform.
+func installTransform(cnt *count.Options, alg Algorithm, tax *taxonomy.Taxonomy, groups ...[]item.Itemset) {
+	cnt.TransformInto = transformFor(alg, tax, groups...)
+	cnt.Tax = tax
+}
+
 // ExtendTransform returns the counting transform that extends each
 // transaction with its taxonomy ancestors, filtered down to the items that
 // occur in the given candidate groups (Cumulate's optimization). Other
 // packages use it to count taxonomy-aware candidates of their own — the
-// negative miner counts its candidate negative itemsets with it.
-func ExtendTransform(tax *taxonomy.Taxonomy, groups ...[]item.Itemset) func(item.Itemset) item.Itemset {
+// negative miner counts its candidate negative itemsets with it. Callers
+// should also set count.Options.Tax so the bitmap backend can honor the
+// transform (it is an ancestor extension by construction).
+func ExtendTransform(tax *taxonomy.Taxonomy, groups ...[]item.Itemset) count.TransformInto {
 	return cumulateTransform(tax, usedItems(groups...))
 }
 
@@ -207,7 +216,7 @@ func genLevel(prev []item.Itemset, tax *taxonomy.Taxonomy, k int) []item.Itemset
 // mineL1 runs the first pass: exact counts of every item and category.
 func mineL1(db txdb.DB, tax *taxonomy.Taxonomy, opt Options, res *apriori.Result) ([]item.Itemset, error) {
 	cnt := opt.Count
-	cnt.Transform = basicTransform(tax)
+	cnt.TransformInto = basicTransform(tax)
 	singles, err := count.Singletons(db, cnt)
 	if err != nil {
 		return nil, err

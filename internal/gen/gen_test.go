@@ -216,6 +216,42 @@ func TestAlgorithmsIdenticalResults(t *testing.T) {
 	}
 }
 
+// TestBackendsIdenticalResults pins counting-backend equivalence at stage 1:
+// every algorithm must produce identical large itemsets and counts under the
+// hash-tree and vertical-bitmap engines, sequentially and in parallel.
+func TestBackendsIdenticalResults(t *testing.T) {
+	tax, db := randomTaxDB(21, 30, 300, 5)
+	for _, alg := range []Algorithm{Basic, Cumulate, EstMerge} {
+		t.Run(alg.String(), func(t *testing.T) {
+			var base map[item.Key]int
+			for _, backend := range []count.Backend{count.BackendHashTree, count.BackendBitmap} {
+				for _, parallel := range []int{1, 3} {
+					opt := Options{MinSupport: 0.05, Algorithm: alg, SampleSize: 64, SampleSeed: 5}
+					opt.Count.Backend = backend
+					opt.Count.Parallelism = parallel
+					res, err := Mine(db, tax, opt)
+					if err != nil {
+						t.Fatalf("%v parallel=%d: %v", backend, parallel, err)
+					}
+					m := resultMap(res)
+					if base == nil {
+						base = m
+						continue
+					}
+					if len(m) != len(base) {
+						t.Fatalf("%v parallel=%d: %d itemsets, want %d", backend, parallel, len(m), len(base))
+					}
+					for k, c := range base {
+						if m[k] != c {
+							t.Fatalf("%v parallel=%d: %v = %d, want %d", backend, parallel, k.Itemset(), m[k], c)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestEstMergePassSchedule(t *testing.T) {
 	// EstMerge with a perfect (full-size) sample must not use more full
 	// passes than Cumulate; with a tiny sample it may repair but stays exact.

@@ -83,7 +83,7 @@ func (s *Stepper) Next() ([]item.CountedSet, error) {
 		return nil, nil
 	}
 	cnt := s.opt.Count
-	cnt.Transform = transformFor(s.opt.Algorithm, s.tax, cands)
+	installTransform(&cnt, s.opt.Algorithm, s.tax, cands)
 	counts, err := count.Candidates(s.db, cands, cnt)
 	if err != nil {
 		return nil, err

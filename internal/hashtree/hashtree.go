@@ -101,6 +101,14 @@ type Counter struct {
 	counts []int
 	last   []int64 // sequence number of the last transaction that touched a candidate
 	seq    int64
+	stack  []frame // reusable traversal stack: Add allocates nothing at steady state
+}
+
+// frame is one suspended step of the tree walk: probe n with transaction
+// items from position start at hash depth depth.
+type frame struct {
+	n            *node
+	start, depth int32
 }
 
 // NewCounter returns a zeroed counter for t.
@@ -109,6 +117,7 @@ func (t *Tree) NewCounter() *Counter {
 		tree:   t,
 		counts: make([]int, len(t.cands)),
 		last:   make([]int64, len(t.cands)),
+		stack:  make([]frame, 0, 64),
 	}
 }
 
@@ -118,7 +127,7 @@ func (c *Counter) Add(tx item.Itemset) {
 		return
 	}
 	c.seq++
-	c.visit(c.tree.root, tx, 0, 0, nil)
+	c.visit(tx, nil)
 }
 
 // AddCollect is Add, additionally invoking hit with the index of every
@@ -130,32 +139,43 @@ func (c *Counter) AddCollect(tx item.Itemset, hit func(idx int32)) {
 		return
 	}
 	c.seq++
-	c.visit(c.tree.root, tx, 0, 0, hit)
+	c.visit(tx, hit)
 }
 
-func (c *Counter) visit(n *node, tx item.Itemset, start, depth int, hit func(int32)) {
-	if n.kids == nil {
-		for _, idx := range n.leaf {
-			if c.last[idx] == c.seq {
-				continue // already examined via another path this transaction
-			}
-			c.last[idx] = c.seq
-			if c.tree.cands[idx].SubsetOf(tx) {
-				c.counts[idx]++
-				if hit != nil {
-					hit(idx)
+// visit walks the tree iteratively with the counter's reusable stack (the
+// recursive form allocated a call frame per level on the hot path). Node
+// visit order differs from the recursion but counts do not depend on it:
+// the last/seq marks examine each candidate at most once per transaction.
+func (c *Counter) visit(tx item.Itemset, hit func(int32)) {
+	k := c.tree.k
+	stack := append(c.stack[:0], frame{n: c.tree.root})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.n.kids == nil {
+			for _, idx := range f.n.leaf {
+				if c.last[idx] == c.seq {
+					continue // already examined via another path this transaction
+				}
+				c.last[idx] = c.seq
+				if c.tree.cands[idx].SubsetOf(tx) {
+					c.counts[idx]++
+					if hit != nil {
+						hit(idx)
+					}
 				}
 			}
+			continue
 		}
-		return
-	}
-	// Try each remaining transaction item as the next hashed element; a
-	// candidate needs k-depth more items, so stop when too few remain.
-	for i := start; len(tx)-i >= c.tree.k-depth; i++ {
-		if child := n.kids[hashItem(tx[i])]; child != nil {
-			c.visit(child, tx, i+1, depth+1, hit)
+		// Try each remaining transaction item as the next hashed element; a
+		// candidate needs k-depth more items, so stop when too few remain.
+		for i := int(f.start); len(tx)-i >= k-int(f.depth); i++ {
+			if child := f.n.kids[hashItem(tx[i])]; child != nil {
+				stack = append(stack, frame{n: child, start: int32(i + 1), depth: f.depth + 1})
+			}
 		}
 	}
+	c.stack = stack[:0] // keep grown capacity for the next transaction
 }
 
 // Count returns the accumulated count of candidate i (by Build order).

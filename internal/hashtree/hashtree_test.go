@@ -238,3 +238,52 @@ func BenchmarkCountReference(b *testing.B) {
 		referenceCount(cands, txs)
 	}
 }
+
+// TestAddAllocationFree pins the steady-state guarantee of the iterative
+// probe path: once the counter's traversal stack has warmed up, Add and
+// AddCollect allocate nothing.
+func TestAddAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var cands []item.Itemset
+	seen := map[item.Key]bool{}
+	for len(cands) < 500 {
+		c := item.New(item.Item(r.Intn(80)), item.Item(r.Intn(80)), item.Item(r.Intn(80)))
+		if c.Len() == 3 && !seen[c.Key()] {
+			seen[c.Key()] = true
+			cands = append(cands, c)
+		}
+	}
+	tree, err := Build(cands, 4) // small leaves force deep traversals
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txs []item.Itemset
+	for i := 0; i < 50; i++ {
+		raw := make([]item.Item, 15)
+		for j := range raw {
+			raw[j] = item.Item(r.Intn(80))
+		}
+		txs = append(txs, item.New(raw...))
+	}
+	c := tree.NewCounter()
+	for _, tx := range txs {
+		c.Add(tx) // warm the stack
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, tx := range txs {
+			c.Add(tx)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Add allocated %v times per run, want 0", allocs)
+	}
+	hit := func(int32) {}
+	allocs = testing.AllocsPerRun(100, func() {
+		for _, tx := range txs {
+			c.AddCollect(tx, hit)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AddCollect allocated %v times per run, want 0", allocs)
+	}
+}

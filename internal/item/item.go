@@ -9,6 +9,7 @@ package item
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +50,26 @@ func New(items ...Item) Itemset {
 // FromSorted adopts a slice that the caller guarantees is already sorted and
 // duplicate-free. It does not copy.
 func FromSorted(items []Item) Itemset { return Itemset(items) }
+
+// SortDedup sorts s in place, removes duplicates in place and returns the
+// (re-sliced) result as an Itemset. Unlike New it never allocates, which
+// makes it the building block for the allocation-free transaction transforms
+// used on counting hot paths: callers own a scratch buffer, append raw items
+// into it and normalize with SortDedup.
+func SortDedup(s []Item) Itemset {
+	if len(s) == 0 {
+		return s
+	}
+	slices.Sort(s)
+	w := 1
+	for r := 1; r < len(s); r++ {
+		if s[r] != s[w-1] {
+			s[w] = s[r]
+			w++
+		}
+	}
+	return s[:w]
+}
 
 // Len returns the number of items in the set.
 func (s Itemset) Len() int { return len(s) }

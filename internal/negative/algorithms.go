@@ -148,12 +148,16 @@ func countAndFilter(db txdb.DB, tax *taxonomy.Taxonomy, cands []Candidate, opt O
 		// Each size group gets its own ancestor filter so its hash tree
 		// sees transactions exactly as narrow as a dedicated per-level
 		// pass would — the single scan then strictly dominates the Naive
-		// algorithm's schedule.
-		transforms := make([]func(item.Itemset) item.Itemset, len(groups))
+		// algorithm's schedule. Setting Tax declares the transforms as
+		// ancestor extensions, which lets the bitmap backend count the
+		// same pass from closure rows instead.
+		transforms := make([]count.TransformInto, len(groups))
 		for gi, g := range groups {
 			transforms[gi] = gen.ExtendTransform(tax, g)
 		}
-		counts, err := count.MultiTransformed(db, groups, transforms, opt.Count)
+		cnt := opt.Count
+		cnt.Tax = tax
+		counts, err := count.MultiTransformed(db, groups, transforms, cnt)
 		if err != nil {
 			return nil, err
 		}

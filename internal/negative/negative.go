@@ -109,7 +109,7 @@ func (o Options) validate() error {
 	if o.MaxCandidates < 0 {
 		return fmt.Errorf("negative: MaxCandidates = %d, want ≥ 0", o.MaxCandidates)
 	}
-	if o.Count.Transform != nil {
+	if o.Count.Transform != nil || o.Count.TransformInto != nil {
 		return fmt.Errorf("negative: Count.Transform must be nil (set internally)")
 	}
 	for i, g := range o.Substitutes {

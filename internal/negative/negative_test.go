@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"negmine/internal/count"
 	"negmine/internal/gen"
 	"negmine/internal/item"
 	"negmine/internal/taxonomy"
@@ -363,28 +364,39 @@ func TestNaiveAndImprovedAgree(t *testing.T) {
 func TestPassComplexity(t *testing.T) {
 	// The paper's claim: Naive = 2n passes, Improved = n+1 passes, where n
 	// is the number of large-itemset levels. Our Naive skips the useless
-	// level-1 negative pass, so it makes 2n−1.
+	// level-1 negative pass, so it makes 2n−1. The counts must hold for
+	// every backend: the hash tree scans once per counting call, and the
+	// bitmap build is likewise exactly one scan per call (auto on an
+	// instrumented DB resolves to hashtree; the explicit cases pin both).
 	tax, _, db := paperExample(t)
 	ins := txdb.Instrument(db)
 
-	res, err := Mine(ins, tax, Options{MinSupport: 0.04, MinRI: 0.5, Algorithm: Improved})
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := len(res.Large.Levels)
-	if n != 2 {
-		t.Fatalf("levels = %d, want 2 (test setup)", n)
-	}
-	if got := ins.Passes(); got != n+1 {
-		t.Errorf("Improved used %d passes, want n+1 = %d", got, n+1)
-	}
+	for _, backend := range []count.Backend{count.BackendAuto, count.BackendHashTree, count.BackendBitmap} {
+		opt := Options{MinSupport: 0.04, MinRI: 0.5, Algorithm: Improved}
+		opt.Count.Backend = backend
+		opt.Gen.Count.Backend = backend
 
-	ins.Reset()
-	if _, err := Mine(ins, tax, Options{MinSupport: 0.04, MinRI: 0.5, Algorithm: Naive}); err != nil {
-		t.Fatal(err)
-	}
-	if got := ins.Passes(); got != 2*n-1 {
-		t.Errorf("Naive used %d passes, want 2n−1 = %d", got, 2*n-1)
+		ins.Reset()
+		res, err := Mine(ins, tax, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(res.Large.Levels)
+		if n != 2 {
+			t.Fatalf("levels = %d, want 2 (test setup)", n)
+		}
+		if got := ins.Passes(); got != n+1 {
+			t.Errorf("%v: Improved used %d passes, want n+1 = %d", backend, got, n+1)
+		}
+
+		ins.Reset()
+		opt.Algorithm = Naive
+		if _, err := Mine(ins, tax, opt); err != nil {
+			t.Fatal(err)
+		}
+		if got := ins.Passes(); got != 2*n-1 {
+			t.Errorf("%v: Naive used %d passes, want 2n−1 = %d", backend, got, 2*n-1)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"negmine/internal/count"
 	"negmine/internal/gen"
 	"negmine/internal/item"
 	"negmine/internal/stats"
@@ -174,16 +175,30 @@ func TestPipelineAgainstOracle(t *testing.T) {
 			db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
 		}
 		const minSup, minRI = 0.06, 0.4
-		res, err := Mine(db, tax, Options{
-			MinSupport: minSup, MinRI: minRI,
-			Gen: gen.Options{MaxK: maxK},
-		})
-		if err != nil {
-			t.Fatal(err)
+		// Every backend must reproduce the oracle exactly — the pipeline's
+		// output is defined by the paper, not by the counting engine.
+		for _, backend := range []count.Backend{count.BackendHashTree, count.BackendBitmap} {
+			opt := Options{
+				MinSupport: minSup, MinRI: minRI,
+				Gen: gen.Options{MaxK: maxK},
+			}
+			opt.Count.Backend = backend
+			opt.Gen.Count.Backend = backend
+			res, err := Mine(db, tax, opt)
+			if err != nil {
+				t.Fatalf("%v: %v", backend, err)
+			}
+			n := db.Count()
+			minCount := res.Large.MinCount
+			checkOracle(t, trial, backend, db, tax, res, n, minCount, maxK, minSup, minRI)
 		}
-		n := db.Count()
-		minCount := res.Large.MinCount
+	}
+}
 
+// checkOracle validates one Mine result against the brute-force oracle.
+func checkOracle(t *testing.T, trial int64, backend count.Backend, db *txdb.MemDB, tax *taxonomy.Taxonomy, res *Result, n, minCount, maxK int, minSup, minRI float64) {
+	t.Helper()
+	{
 		// 1. Stage 1 against the oracle.
 		wantLarge := oracleLarge(db, tax, minCount, maxK)
 		gotLarge := map[item.Key]int{}

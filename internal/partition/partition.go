@@ -58,7 +58,7 @@ func (o Options) validate() error {
 	if o.MaxK < 0 {
 		return fmt.Errorf("partition: MaxK = %d, want ≥ 0", o.MaxK)
 	}
-	if o.Count.Transform != nil {
+	if o.Count.Transform != nil || o.Count.TransformInto != nil {
 		return fmt.Errorf("partition: Count.Transform must be nil (set internally)")
 	}
 	return nil
@@ -181,7 +181,10 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 
 	// Phase II: one pass exact counting of all candidates.
 	cnt := opt.Count
-	cnt.Transform = transform
+	if opt.Taxonomy != nil {
+		cnt.TransformInto = opt.Taxonomy.ExtendInto
+		cnt.Tax = opt.Taxonomy
+	}
 	counts, err := count.Multi(db, groups, cnt)
 	if err != nil {
 		return nil, err

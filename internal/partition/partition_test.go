@@ -95,6 +95,62 @@ func TestMatchesGeneralized(t *testing.T) {
 	}
 }
 
+// TestBackendsMatch pins counting-backend equivalence for the phase-II
+// global count: flat and generalized partition mining must return identical
+// supports under the hash-tree and vertical-bitmap engines.
+func TestBackendsMatch(t *testing.T) {
+	flat := randomDB(31, 200, 15, 6)
+	tax, err := taxonomy.Generate(taxonomy.GenSpec{Leaves: 20, Roots: 3, Fanout: 3}, stats.NewSource(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	lv := tax.Leaves()
+	leafy := &txdb.MemDB{}
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(4)
+		raw := make([]item.Item, n)
+		for j := range raw {
+			raw[j] = lv[r.Intn(len(lv))]
+		}
+		leafy.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(raw...)})
+	}
+	cases := []struct {
+		name string
+		db   *txdb.MemDB
+		tax  *taxonomy.Taxonomy
+	}{
+		{"flat", flat, nil},
+		{"generalized", leafy, tax},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var base map[item.Key]int
+			for _, backend := range []count.Backend{count.BackendHashTree, count.BackendBitmap} {
+				opt := Options{MinSupport: 0.06, NumPartitions: 4, Taxonomy: tc.tax}
+				opt.Count.Backend = backend
+				res, err := Mine(tc.db, opt)
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				m := asMap(res)
+				if base == nil {
+					base = m
+					continue
+				}
+				if len(m) != len(base) {
+					t.Fatalf("%v: %d itemsets, want %d", backend, len(m), len(base))
+				}
+				for k, c := range base {
+					if m[k] != c {
+						t.Fatalf("%v: %v = %d, want %d", backend, k.Itemset(), m[k], c)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestExactlyTwoPasses(t *testing.T) {
 	db := txdb.Instrument(randomDB(5, 300, 20, 6))
 	_, err := Mine(db, Options{MinSupport: 0.05, NumPartitions: 5})

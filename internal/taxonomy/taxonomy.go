@@ -285,6 +285,21 @@ func (t *Taxonomy) LeafDescendants(i item.Item) item.Itemset {
 	return item.New(out...)
 }
 
+// ExtendInto appends tx plus all ancestors of its items into dst (normally
+// dst[:0] of a reusable buffer) and returns the sorted, deduplicated result.
+// It is the allocation-free form of Extend for counting hot paths: the
+// returned itemset aliases dst's (possibly grown) backing array, so callers
+// must stop using it before the next ExtendInto call on the same buffer.
+func (t *Taxonomy) ExtendInto(dst []item.Item, tx item.Itemset) item.Itemset {
+	for _, x := range tx {
+		dst = append(dst, x)
+		if t.valid(x) {
+			dst = append(dst, t.anc[x]...)
+		}
+	}
+	return item.SortDedup(dst)
+}
+
 // Extend returns tx plus all ancestors of its items (the Cumulate transform:
 // a transaction supports a category iff it contains one of its leaves).
 func (t *Taxonomy) Extend(tx item.Itemset) item.Itemset {

@@ -112,9 +112,24 @@ type (
 	DataParams = datagen.Params
 
 	// CountOptions tunes support counting (parallelism, hash tree width,
-	// transaction transform).
+	// transaction transform, counting backend).
 	CountOptions = count.Options
+	// CountBackend selects the support-counting engine.
+	CountBackend = count.Backend
 )
+
+// Support-counting backends (set CountOptions.Backend; the default
+// AutoBackend picks the bitmap engine for memory-resident databases whose
+// bitmap matrix fits the budget, the hash tree otherwise).
+const (
+	AutoBackend     = count.BackendAuto
+	HashTreeBackend = count.BackendHashTree
+	BitmapBackend   = count.BackendBitmap
+)
+
+// ParseCountBackend converts a backend flag value ("auto", "hashtree",
+// "bitmap") into a CountBackend.
+func ParseCountBackend(s string) (CountBackend, error) { return count.ParseBackend(s) }
 
 // Generalized mining algorithms (stage 1 of negative mining).
 const (
