@@ -8,6 +8,8 @@
 //	experiments -all -scale 10      # everything
 //	experiments -countbench -countout BENCH_counting.json
 //	                                # counting-backend ablation (hashtree vs bitmap)
+//	experiments -servebench -serveout BENCH_serving.json
+//	                                # serving layer: snapshot build + query latency
 //
 // -scale divides the transaction count (50,000 at scale 1) while keeping
 // the paper's 8,000-item universe, so relative supports — and hence every
@@ -39,21 +41,24 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "", "figures to regenerate: comma-separated of 5,6,7")
-		table    = fs.String("table", "", "tables to regenerate: 1, 2 or 12")
-		all      = fs.Bool("all", false, "run every experiment")
-		scale    = fs.Int("scale", 10, "transaction-count divisor (1 = the paper's 50,000)")
-		seed     = fs.Int64("seed", 1, "dataset seed")
-		minRI    = fs.Float64("minri", 0.5, "minimum rule interest (paper: 0.5)")
-		minsups  = fs.String("minsups", "2,1.5,1,0.75,0.5", "support levels in percent for figures 5/6")
-		maxK     = fs.Int("maxk", 0, "stage-1 level cap (0 = unlimited)")
-		parallel = fs.Int("parallel", 1, "counting workers")
-		backend  = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
-		disk     = fs.Bool("disk", false, "stream transactions from disk on every pass (the paper's setting)")
-		slowIO   = fs.Int("slowio", 0, "simulated scan cost in µs per transaction (0 = off); models the paper's 1995 disk-bound regime")
-		cbench   = fs.Bool("countbench", false, "time the Improved counting pass under both backends (hashtree vs bitmap)")
+		fig       = fs.String("fig", "", "figures to regenerate: comma-separated of 5,6,7")
+		table     = fs.String("table", "", "tables to regenerate: 1, 2 or 12")
+		all       = fs.Bool("all", false, "run every experiment")
+		scale     = fs.Int("scale", 10, "transaction-count divisor (1 = the paper's 50,000)")
+		seed      = fs.Int64("seed", 1, "dataset seed")
+		minRI     = fs.Float64("minri", 0.5, "minimum rule interest (paper: 0.5)")
+		minsups   = fs.String("minsups", "2,1.5,1,0.75,0.5", "support levels in percent for figures 5/6")
+		maxK      = fs.Int("maxk", 0, "stage-1 level cap (0 = unlimited)")
+		parallel  = fs.Int("parallel", 1, "counting workers")
+		backend   = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
+		disk      = fs.Bool("disk", false, "stream transactions from disk on every pass (the paper's setting)")
+		slowIO    = fs.Int("slowio", 0, "simulated scan cost in µs per transaction (0 = off); models the paper's 1995 disk-bound regime")
+		cbench    = fs.Bool("countbench", false, "time the Improved counting pass under both backends (hashtree vs bitmap)")
 		cbenchOut = fs.String("countout", "", "also write the -countbench results as JSON to this file (e.g. BENCH_counting.json)")
-		reps     = fs.Int("reps", 3, "repetitions per -countbench measurement (best time kept)")
+		reps      = fs.Int("reps", 3, "repetitions per -countbench/-servebench measurement (best time kept)")
+		sbench    = fs.Bool("servebench", false, "measure serving-snapshot build time and lookup throughput/latency on Short and Tall")
+		sbenchOut = fs.String("serveout", "", "also write the -servebench results as JSON to this file (e.g. BENCH_serving.json)")
+		lookups   = fs.Int("lookups", 20000, "timed queries per -servebench run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,9 +84,9 @@ func run(args []string, out io.Writer) error {
 		figs["5"], figs["6"], figs["7"] = true, true, true
 		tables["1"], tables["2"] = true, true
 	}
-	if len(figs) == 0 && len(tables) == 0 && !*cbench {
+	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -fig, -table, -countbench or -all")
+		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench or -all")
 	}
 
 	sups, err := parseFloats(*minsups)
@@ -232,6 +237,41 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *cbenchOut)
+		}
+		fmt.Fprintln(out)
+	}
+	if *sbench {
+		fmt.Fprintln(out, "=== Serving layer — snapshot build time and query latency ===")
+		pct := 2.0
+		if len(sups) > 0 {
+			pct = sups[0]
+		}
+		var rows []*bench.ServingBench
+		for _, name := range []string{"Short", "Tall"} {
+			ds, err := need(name)
+			if err != nil {
+				return err
+			}
+			row, err := bench.RunServingBench(ds, pct, *minRI, gen.Cumulate, *maxK, *parallel, *reps, *lookups)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		bench.PrintServing(out, rows)
+		if *sbenchOut != "" {
+			f, err := os.Create(*sbenchOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteServingJSON(f, *scale, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *sbenchOut)
 		}
 		fmt.Fprintln(out)
 	}

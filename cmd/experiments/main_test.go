@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -39,6 +41,48 @@ func TestFiguresSmall(t *testing.T) {
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark in -short mode")
+	}
+	var out bytes.Buffer
+	outPath := t.TempDir() + "/BENCH_serving.json"
+	err := run([]string{"-servebench", "-scale", "100", "-minsups", "2", "-maxk", "3",
+		"-reps", "1", "-lookups", "500", "-serveout", outPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Serving layer", "Short", "Tall", "p99", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benches []struct {
+			Dataset      string  `json:"dataset"`
+			Rules        int     `json:"rules"`
+			BuildSeconds float64 `json:"snapshot_build_seconds"`
+			P99          float64 `json:"lookup_p99_us"`
+		} `json:"benches"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad BENCH_serving.json: %v", err)
+	}
+	if len(doc.Benches) != 2 || doc.Benches[0].Dataset != "Short" || doc.Benches[1].Dataset != "Tall" {
+		t.Fatalf("benches = %+v", doc.Benches)
+	}
+	for _, b := range doc.Benches {
+		if b.Rules == 0 || b.BuildSeconds <= 0 || b.P99 <= 0 {
+			t.Errorf("degenerate bench row: %+v", b)
 		}
 	}
 }

@@ -20,6 +20,9 @@
 //	-parallel n    counting workers (default 1)
 //	-backend name  counting backend: auto (default), hashtree or bitmap
 //	-maxk n        cap large-itemset size (0 = unlimited)
+//	-format name   text (default), json or csv; `-format json` writes the
+//	               report document that cmd/negmined serves online
+//	               (negmined -report rules.json) and that -diff reads back
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("negmine", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		dataPath  = fs.String("data", "", "transaction file (basket text or .nmtx binary)")
 		taxPath   = fs.String("tax", "", "taxonomy file (parent child edges)")
@@ -56,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 1, "counting workers")
 		backend   = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
 		maxK      = fs.Int("maxk", 0, "cap large-itemset size (0 = unlimited)")
-		format    = fs.String("format", "text", "output format: text, json or csv")
+		format    = fs.String("format", "text", "output format: text, json or csv (json is the report negmined -report serves and -diff reads)")
 		subsPath  = fs.String("subs", "", "substitute-group file: one group of item names per line")
 		interest  = fs.Float64("interesting", 0, "prune positive rules to the R-interesting ones (0 = off; try 1.1)")
 		filter    = fs.String("filter", "deviation", "negative-itemset filter: deviation (§2) or absolute (Figure 3)")

@@ -3,12 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"negmine"
+	"negmine/internal/rulestore"
+	"negmine/internal/serve"
 )
 
 func writeFixtures(t *testing.T) (dataPath, taxPath string) {
@@ -152,6 +156,77 @@ func TestRunJSONAndCSV(t *testing.T) {
 
 	if err := run([]string{"-data", data, "-tax", tax, "-format", "xml"}, &out); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestUsageMentionsNegmined pins that -h documents the report-JSON handoff
+// to the serving daemon.
+func TestUsageMentionsNegmined(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-h"}, &out)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(out.String(), "negmined") {
+		t.Errorf("usage does not mention negmined:\n%s", out.String())
+	}
+}
+
+// TestJSONServeRoundTrip walks the full pipeline the usage text promises:
+// mine with -format json, load the report into a serving snapshot, and
+// query it back for the known rule {pepsi} =/=> {chips}.
+func TestJSONServeRoundTrip(t *testing.T) {
+	data, taxPath := writeFixtures(t)
+	var out bytes.Buffer
+	err := run([]string{"-data", data, "-tax", taxPath, "-minsup", "0.15", "-minri", "0.3", "-format", "json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rulestore.Load(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("report JSON does not load as a rule store: %v", err)
+	}
+	f, err := os.Open(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax, err := negmine.ParseTaxonomy(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := serve.BuildSnapshot(st, tax, serve.Meta{Source: "test"})
+	if snap.Len() != st.Len() {
+		t.Fatalf("snapshot has %d rules, store has %d", snap.Len(), st.Len())
+	}
+	isPepsiChips := func(e rulestore.Entry) bool {
+		return len(e.Antecedent) == 1 && e.Antecedent[0] == "pepsi" &&
+			len(e.Consequent) == 1 && e.Consequent[0] == "chips"
+	}
+	hasPepsiChips := func(got []rulestore.Entry) bool {
+		for _, e := range got {
+			if isPepsiChips(e) {
+				return true
+			}
+		}
+		return false
+	}
+	// The rule is reachable from both sides of the index.
+	if got := snap.QueryItem("pepsi", 0, 0); !hasPepsiChips(got) {
+		t.Errorf("QueryItem(pepsi) missing {pepsi} =/=> {chips}: %v", got)
+	}
+	if got := snap.QueryItem("chips", 0, 0); !hasPepsiChips(got) {
+		t.Errorf("QueryItem(chips) missing {pepsi} =/=> {chips}: %v", got)
+	}
+	// And a basket containing pepsi triggers it.
+	triggered := false
+	for _, m := range snap.Score([]string{"pepsi"}, 0, 0) {
+		if isPepsiChips(m.Rule) && m.Triggers["pepsi"] == "pepsi" {
+			triggered = true
+		}
+	}
+	if !triggered {
+		t.Error("Score([pepsi]) did not trigger {pepsi} =/=> {chips}")
 	}
 }
 

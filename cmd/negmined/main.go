@@ -1,0 +1,246 @@
+// Command negmined is the rule-serving daemon: it loads a mined negative
+// rule set into an immutable, item-indexed snapshot and answers concurrent
+// queries over HTTP, re-mining (or re-reading) and atomically hot-swapping
+// the snapshot without ever blocking readers.
+//
+// Two source modes:
+//
+//	negmined -report rules.json -tax taxonomy.txt
+//	    serve a report previously written by `negmine -format json`
+//	    (or WriteNegativeJSON); /reload re-reads the file
+//
+//	negmined -data baskets.txt -tax taxonomy.txt -minsup 0.02 -minri 0.5
+//	    mine at startup with the full pipeline; /reload re-mines from the
+//	    (possibly updated) data file
+//
+// Endpoints:
+//
+//	GET  /rules?item=NAME[&minri=F][&limit=N]  rules mentioning NAME or a
+//	                                           taxonomy ancestor of it
+//	POST /score {"basket":[...], "minRI":F}    negative rules the basket
+//	                                           triggers (what this customer
+//	                                           is unlikely to also buy)
+//	GET  /healthz                              liveness + snapshot info
+//	GET  /metrics                              request counts, latency
+//	                                           histograms, reload state
+//	POST /reload[?wait=1]                      rebuild + swap the snapshot
+//
+// Flags:
+//
+//	-addr host:port   listen address (default :8377)
+//	-report file      serve this report JSON (negmine -format json output)
+//	-data file        transactions: basket text or .nmtx binary (mining mode)
+//	-tax file         taxonomy: "parent child" edges (required)
+//	-minsup/-minri    mining thresholds (mining mode)
+//	-gen/-alg/-parallel/-backend/-maxk  mining pipeline knobs, as in negmine
+//	-watch            poll the source file's mtime and reload on change
+//	-poll d           watch interval (default 2s)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"negmine"
+	"negmine/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "negmined:", err)
+		os.Exit(1)
+	}
+}
+
+// config is everything run needs after flag parsing.
+type config struct {
+	addr     string
+	watch    bool
+	poll     time.Duration
+	source   string // the file -watch polls
+	loadFunc serve.LoadFunc
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args, out)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	srv, err := serve.NewServer(ctx, cfg.loadFunc)
+	if err != nil {
+		return err
+	}
+	if cfg.watch {
+		go srv.Watch(ctx, cfg.source, cfg.poll)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(out, "negmined: serving %d rules (source %s) on http://%s\n",
+		snap.Len(), cfg.source, ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// parseFlags builds the daemon config, including the LoadFunc that /reload
+// re-invokes. Split from run so tests can drive the handler without a
+// listening socket.
+func parseFlags(args []string, out io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("negmined", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr     = fs.String("addr", ":8377", "listen address")
+		repPath  = fs.String("report", "", "serve this report JSON (the negmine -format json output)")
+		dataPath = fs.String("data", "", "mine this transaction file (basket text or .nmtx binary)")
+		taxPath  = fs.String("tax", "", "taxonomy file (parent child edges); required")
+		minSup   = fs.Float64("minsup", 0.02, "minimum relative support (mining mode)")
+		minRI    = fs.Float64("minri", 0.5, "minimum rule interest (mining mode)")
+		genName  = fs.String("gen", "cumulate", "stage-1 algorithm: basic, cumulate or estmerge")
+		algName  = fs.String("alg", "better", "negative algorithm: better or naive")
+		parallel = fs.Int("parallel", 1, "counting workers (mining mode)")
+		backend  = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
+		maxK     = fs.Int("maxk", 0, "cap large-itemset size (0 = unlimited)")
+		watch    = fs.Bool("watch", false, "poll the source file's mtime and reload on change")
+		poll     = fs.Duration("poll", 2*time.Second, "mtime poll interval for -watch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *taxPath == "" {
+		fs.Usage()
+		return nil, fmt.Errorf("-tax is required")
+	}
+	if (*repPath == "") == (*dataPath == "") {
+		fs.Usage()
+		return nil, fmt.Errorf("exactly one of -report or -data is required")
+	}
+
+	cfg := &config{addr: *addr, watch: *watch, poll: *poll}
+	if *repPath != "" {
+		cfg.source = *repPath
+		cfg.loadFunc = reportLoader(*repPath, *taxPath)
+		return cfg, nil
+	}
+
+	opt := negmine.NegativeOptions{MinSupport: *minSup, MinRI: *minRI}
+	switch strings.ToLower(*algName) {
+	case "better", "improved":
+		opt.Algorithm = negmine.Improved
+	case "naive":
+		opt.Algorithm = negmine.Naive
+	default:
+		return nil, fmt.Errorf("unknown -alg %q (want better or naive)", *algName)
+	}
+	switch strings.ToLower(*genName) {
+	case "basic":
+		opt.Gen.Algorithm = negmine.Basic
+	case "cumulate":
+		opt.Gen.Algorithm = negmine.Cumulate
+	case "estmerge":
+		opt.Gen.Algorithm = negmine.EstMerge
+	default:
+		return nil, fmt.Errorf("unknown -gen %q (want basic, cumulate or estmerge)", *genName)
+	}
+	opt.Gen.MaxK = *maxK
+	opt.Count.Parallelism = *parallel
+	opt.Gen.Count.Parallelism = *parallel
+	cb, err := negmine.ParseCountBackend(*backend)
+	if err != nil {
+		return nil, err
+	}
+	opt.Count.Backend = cb
+	opt.Gen.Count.Backend = cb
+
+	cfg.source = *dataPath
+	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt)
+	return cfg, nil
+}
+
+// reportLoader re-reads a report JSON file on every (re)load. The taxonomy
+// is also re-read so a snapshot always pairs the report with the hierarchy
+// it was mined under.
+func reportLoader(repPath, taxPath string) serve.LoadFunc {
+	return func(ctx context.Context) (*serve.Snapshot, error) {
+		tax, err := loadTaxonomy(taxPath)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(repPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rep, err := negmine.ReadNegativeReport(f)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", repPath, err)
+		}
+		st := negmine.RuleStoreFromReport(rep)
+		meta := serve.Meta{
+			Source:     "report " + repPath,
+			MinSupport: rep.MinSupport,
+			MinRI:      rep.MinRI,
+		}
+		return serve.BuildSnapshot(st, tax, meta), nil
+	}
+}
+
+// mineLoader runs the full mining pipeline on every (re)load — hot
+// re-mining. Data and taxonomy are re-read each time so dropping a fresh
+// file in place plus /reload (or -watch) picks it up.
+func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions) serve.LoadFunc {
+	return func(ctx context.Context) (*serve.Snapshot, error) {
+		tax, err := loadTaxonomy(taxPath)
+		if err != nil {
+			return nil, err
+		}
+		db, err := loadData(dataPath, tax.Dictionary())
+		if err != nil {
+			return nil, err
+		}
+		rep, err := negmine.MineNegativeReport(db, tax, opt)
+		if err != nil {
+			return nil, fmt.Errorf("mining %s: %w", dataPath, err)
+		}
+		st := negmine.RuleStoreFromReport(rep)
+		meta := serve.Meta{
+			Source:     "mined " + dataPath,
+			MinSupport: opt.MinSupport,
+			MinRI:      opt.MinRI,
+		}
+		return serve.BuildSnapshot(st, tax, meta), nil
+	}
+}
+
+func loadTaxonomy(path string) (*negmine.Taxonomy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tax, err := negmine.ParseTaxonomy(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing taxonomy %s: %w", path, err)
+	}
+	return tax, nil
+}
+
+func loadData(path string, dict *negmine.Dictionary) (negmine.DB, error) {
+	if strings.HasSuffix(path, ".nmtx") || strings.HasSuffix(path, ".nmtx.gz") {
+		return negmine.OpenDB(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return negmine.ReadBaskets(f, dict)
+}

@@ -5,6 +5,11 @@
 //	nmtx -head 5 data.nmtx             # first baskets as integer ids
 //	nmtx -convert out.txt data.nmtx    # binary → integer basket text
 //	nmtx -pack out.nmtx.gz data.txt    # basket text → (gzipped) binary
+//
+// Packed .nmtx files are the -data input of the mining pipeline: `negmine
+// -data out.nmtx -format json` writes the report JSON that the cmd/negmined
+// daemon serves (`negmined -report rules.json`, or `negmined -data out.nmtx`
+// to mine and serve directly).
 package main
 
 import (
@@ -27,12 +32,21 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nmtx", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		stats   = fs.Bool("stats", false, "print header and basket statistics")
 		head    = fs.Int("head", 0, "print the first N baskets")
 		convert = fs.String("convert", "", "write the file as integer basket text to this path")
 		pack    = fs.String("pack", "", "write the (text) input as binary to this path (.gz for gzip)")
 	)
+	defaultUsage := fs.Usage
+	fs.Usage = func() {
+		defaultUsage()
+		fmt.Fprintln(fs.Output(), `
+Packed .nmtx files feed the mining pipeline: "negmine -data FILE.nmtx -format json"
+writes the report JSON that the negmined daemon serves ("negmined -report rules.json"),
+and "negmined -data FILE.nmtx" mines and serves it directly.`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

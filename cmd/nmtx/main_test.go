@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,6 +79,21 @@ func TestConvertAndPackRoundTrip(t *testing.T) {
 	}
 	if db.Count() != 3 {
 		t.Errorf("packed count = %d", db.Count())
+	}
+}
+
+// TestUsageMentionsPipeline pins that -h points at the negmine/negmined
+// consumers of packed .nmtx files.
+func TestUsageMentionsPipeline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-h"}, &out)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	for _, want := range []string{"negmine -data", "negmined"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"negmine/internal/gen"
+	"negmine/internal/negative"
+	"negmine/internal/report"
+	"negmine/internal/rulestore"
+	"negmine/internal/serve"
+)
+
+// ServingBench is the BENCH_serving.json payload for one dataset: how long
+// the serving snapshot takes to build from a mined rule set, and how fast
+// item lookups (the /rules hot path) run against it.
+type ServingBench struct {
+	Dataset      string  `json:"dataset"`
+	MinSupPct    float64 `json:"minsup_pct"`
+	MinRI        float64 `json:"minri"`
+	Rules        int     `json:"rules"`
+	IndexedItems int     `json:"indexed_items"`
+
+	// Snapshot build: best-of-reps wall time for BuildSnapshot (store →
+	// immutable indexed snapshot), the work a /reload pays beyond mining.
+	BuildSeconds float64 `json:"snapshot_build_seconds"`
+
+	// Lookup benchmark: single-goroutine QueryItem calls over the rule
+	// set's item vocabulary.
+	Lookups          int     `json:"lookups"`
+	LookupsPerSecond float64 `json:"lookups_per_second"`
+	LookupP50Micros  float64 `json:"lookup_p50_us"`
+	LookupP99Micros  float64 `json:"lookup_p99_us"`
+
+	// Score benchmark: /score's basket evaluation with 3-item baskets.
+	Scores          int     `json:"scores"`
+	ScoresPerSecond float64 `json:"scores_per_second"`
+	ScoreP99Micros  float64 `json:"score_p99_us"`
+}
+
+// RunServingBench mines ds once, then measures snapshot construction and
+// query throughput/latency on the result. reps controls best-of repetitions
+// for the build measurement; lookups is the number of timed queries.
+func RunServingBench(ds *Dataset, minSupPct, minRI float64, genAlg gen.Algorithm, maxK, parallel, reps, lookups int) (*ServingBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if lookups < 1 {
+		lookups = 10000
+	}
+	opt := negative.Options{
+		MinSupport: minSupPct / 100,
+		MinRI:      minRI,
+		Algorithm:  negative.Improved,
+		Gen:        gen.Options{Algorithm: genAlg, MaxK: maxK},
+	}
+	opt.Count.Parallelism = parallel
+	opt.Gen.Count.Parallelism = parallel
+	res, err := negative.Mine(ds.DB, ds.Tax, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mining %s for serving: %w", ds.Name, err)
+	}
+	rep := report.BuildNegative(res, opt.MinSupport, opt.MinRI, ds.Tax.Name)
+	st := rulestore.FromReport(rep)
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("bench: %s mined no rules at minsup %.2f%%; lower the support", ds.Name, minSupPct)
+	}
+
+	meta := serve.Meta{Source: "bench " + ds.Name, MinSupport: opt.MinSupport, MinRI: opt.MinRI}
+	var snap *serve.Snapshot
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		snap = serve.BuildSnapshot(st, ds.Tax, meta)
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	info := snap.Info()
+
+	// Query vocabulary: every item named by a rule, cycled deterministically.
+	vocab := map[string]struct{}{}
+	st.Each(func(e rulestore.Entry) bool {
+		for _, n := range e.Antecedent {
+			vocab[n] = struct{}{}
+		}
+		for _, n := range e.Consequent {
+			vocab[n] = struct{}{}
+		}
+		return true
+	})
+	items := make([]string, 0, len(vocab))
+	for n := range vocab {
+		items = append(items, n)
+	}
+	sort.Strings(items)
+
+	out := &ServingBench{
+		Dataset:      ds.Name,
+		MinSupPct:    minSupPct,
+		MinRI:        minRI,
+		Rules:        info.Rules,
+		IndexedItems: info.IndexedItems,
+		BuildSeconds: best.Seconds(),
+	}
+
+	// Item lookups (the /rules hot path).
+	lat := make([]time.Duration, lookups)
+	start := time.Now()
+	for i := 0; i < lookups; i++ {
+		q := time.Now()
+		snap.QueryItem(items[i%len(items)], minRI, 0)
+		lat[i] = time.Since(q)
+	}
+	total := time.Since(start)
+	out.Lookups = lookups
+	out.LookupsPerSecond = float64(lookups) / total.Seconds()
+	p50, p99 := latencyQuantiles(lat)
+	out.LookupP50Micros = p50.Seconds() * 1e6
+	out.LookupP99Micros = p99.Seconds() * 1e6
+
+	// Basket scoring (the /score hot path), 3-item baskets over the vocab.
+	scores := lookups / 2
+	if scores < 1 {
+		scores = 1
+	}
+	lat = lat[:0]
+	start = time.Now()
+	for i := 0; i < scores; i++ {
+		basket := []string{
+			items[i%len(items)],
+			items[(i*7+1)%len(items)],
+			items[(i*13+2)%len(items)],
+		}
+		q := time.Now()
+		snap.Score(basket, minRI, 0)
+		lat = append(lat, time.Since(q))
+	}
+	total = time.Since(start)
+	out.Scores = scores
+	out.ScoresPerSecond = float64(scores) / total.Seconds()
+	_, p99 = latencyQuantiles(lat)
+	out.ScoreP99Micros = p99.Seconds() * 1e6
+	return out, nil
+}
+
+// latencyQuantiles returns the exact p50 and p99 of the sample.
+func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// WriteServingJSON renders serving benchmarks as the indented JSON stored
+// in BENCH_serving.json.
+func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Description string          `json:"description"`
+		Scale       int             `json:"scale"`
+		Benches     []*ServingBench `json:"benches"`
+	}{
+		Description: "Serving layer: snapshot build time and QueryItem/Score throughput and latency on mined rule sets (produced by cmd/experiments -servebench)",
+		Scale:       scale,
+		Benches:     rows,
+	})
+}
+
+// PrintServing renders serving benchmarks as a human-readable summary.
+func PrintServing(w io.Writer, rows []*ServingBench) {
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (minsup %.2f%%): %d rules, %d items; build %.2fms; lookups %.0f/s p50 %.1fµs p99 %.1fµs; score %.0f/s p99 %.1fµs\n",
+			r.Dataset, r.MinSupPct, r.Rules, r.IndexedItems,
+			r.BuildSeconds*1e3, r.LookupsPerSecond, r.LookupP50Micros, r.LookupP99Micros,
+			r.ScoresPerSecond, r.ScoreP99Micros)
+	}
+}

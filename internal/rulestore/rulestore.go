@@ -80,6 +80,12 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromReport(rep), nil
+}
+
+// FromReport indexes an already-parsed report (the in-process hook used by
+// the serving layer, which holds a report rather than a JSON stream).
+func FromReport(rep *report.NegativeReport) *Store {
 	s := &Store{rules: map[string]Entry{}}
 	for _, rr := range rep.Rules {
 		e := Entry{
@@ -93,7 +99,7 @@ func Load(r io.Reader) (*Store, error) {
 		sort.Strings(e.Consequent)
 		s.rules[e.Signature()] = e
 	}
-	return s, nil
+	return s
 }
 
 // Len returns the number of stored rules.
@@ -107,6 +113,18 @@ func (s *Store) All() []Entry {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Signature() < out[j].Signature() })
 	return out
+}
+
+// Each calls fn for every rule in deterministic (signature) order, stopping
+// early when fn returns false. It is the iteration hook consumers that build
+// their own indexes (e.g. the serving snapshot) use: unlike All it lets them
+// stop early, and its ordering contract is pinned by tests.
+func (s *Store) Each(fn func(Entry) bool) {
+	for _, e := range s.All() {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 // Lookup returns the stored entry matching the given sides, if any.

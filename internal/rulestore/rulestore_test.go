@@ -114,6 +114,133 @@ func TestLoadFromJSON(t *testing.T) {
 	}
 }
 
+// TestDiffDeterministic pins that Diff output ordering is independent of
+// Go's randomized map iteration: many stores with many rules, compared
+// repeatedly, must render byte-identical diffs every time.
+func TestDiffDeterministic(t *testing.T) {
+	// Enough rules that map iteration order would visibly scramble an
+	// unsorted implementation on nearly every run.
+	wideResult := func(ris func(i int) float64) *negative.Result {
+		res := &negative.Result{}
+		for i := 0; i < 60; i++ {
+			res.Rules = append(res.Rules, negative.Rule{
+				Antecedent: item.New(item.Item(i)),
+				Consequent: item.New(item.Item(100 + i%7)),
+				RI:         ris(i),
+			})
+		}
+		return res
+	}
+	wideNames := func(i item.Item) string { return "item-" + string(rune('a'+int(i)%26)) + itoa(int(i)) }
+	old := New(wideResult(func(i int) float64 { return 0.5 }), wideNames)
+	// Half the rules drift, a few disappear (filtered), a few appear.
+	newRes := wideResult(func(i int) float64 {
+		if i%2 == 0 {
+			return 0.9
+		}
+		return 0.5
+	})
+	newRes.Rules = newRes.Rules[:50] // 10 disappear
+	for i := 200; i < 210; i++ {     // 10 appear
+		newRes.Rules = append(newRes.Rules, negative.Rule{
+			Antecedent: item.New(item.Item(i)),
+			Consequent: item.New(item.Item(300)),
+			RI:         0.7,
+		})
+	}
+	new_ := New(newRes, wideNames)
+
+	var first string
+	for run := 0; run < 20; run++ {
+		d := Compare(old, new_, 0.05)
+		var buf bytes.Buffer
+		d.Print(&buf)
+		if run == 0 {
+			first = buf.String()
+			if len(d.Appeared) == 0 || len(d.Disappeared) == 0 || len(d.Changed) == 0 {
+				t.Fatalf("degenerate diff: %+v", d)
+			}
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("diff output varies across runs:\n--- run 0:\n%s\n--- run %d:\n%s", first, run, buf.String())
+		}
+	}
+	// The sections themselves are sorted by signature.
+	d := Compare(old, new_, 0.05)
+	for i := 1; i < len(d.Appeared); i++ {
+		if d.Appeared[i-1].Signature() >= d.Appeared[i].Signature() {
+			t.Fatal("Appeared not sorted by signature")
+		}
+	}
+	for i := 1; i < len(d.Disappeared); i++ {
+		if d.Disappeared[i-1].Signature() >= d.Disappeared[i].Signature() {
+			t.Fatal("Disappeared not sorted by signature")
+		}
+	}
+	for i := 1; i < len(d.Changed); i++ {
+		if d.Changed[i-1].New.Signature() >= d.Changed[i].New.Signature() {
+			t.Fatal("Changed not sorted by signature")
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}
+
+// TestEachOrderAndStop pins the Each hook's contract: signature order,
+// early stop.
+func TestEachOrderAndStop(t *testing.T) {
+	s := New(resultB(), names())
+	var sigs []string
+	s.Each(func(e Entry) bool {
+		sigs = append(sigs, e.Signature())
+		return true
+	})
+	if len(sigs) != 3 {
+		t.Fatalf("Each visited %d rules", len(sigs))
+	}
+	for i := 1; i < len(sigs); i++ {
+		if sigs[i-1] >= sigs[i] {
+			t.Fatal("Each not in signature order")
+		}
+	}
+	n := 0
+	s.Each(func(Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each ignored early stop: %d visits", n)
+	}
+}
+
+// TestFromReport pins that the in-process hook matches the JSON round trip.
+func TestFromReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteNegativeJSON(&buf, resultA(), 0.1, 0.5, names()); err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := report.ReadNegativeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := FromReport(rep)
+	d := Compare(viaJSON, direct, 0)
+	if len(d.Appeared) != 0 || len(d.Disappeared) != 0 || len(d.Changed) != 0 || d.Unchanged != 2 {
+		t.Fatalf("FromReport diverges from Load: %+v", d)
+	}
+}
+
 func TestNameOrderIrrelevant(t *testing.T) {
 	// Two runs over dictionaries with different interning orders must
 	// still match by name signature.

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"negmine/internal/rulestore"
+)
+
+// RuleJSON is the wire form of one served rule (field names match the
+// report JSON format so downstream tooling parses both).
+type RuleJSON struct {
+	Antecedent      []string `json:"antecedent"`
+	Consequent      []string `json:"consequent"`
+	RuleInterest    float64  `json:"ruleInterest"`
+	ExpectedSupport float64  `json:"expectedSupport"`
+	ActualSupport   float64  `json:"actualSupport"`
+}
+
+func ruleJSON(e rulestore.Entry) RuleJSON {
+	return RuleJSON{
+		Antecedent:      e.Antecedent,
+		Consequent:      e.Consequent,
+		RuleInterest:    e.RI,
+		ExpectedSupport: e.Expected,
+		ActualSupport:   e.Actual,
+	}
+}
+
+// rulesResponse is the /rules payload.
+type rulesResponse struct {
+	Item     string     `json:"item"`
+	Expanded []string   `json:"expanded"` // item + taxonomy ancestors consulted
+	MinRI    float64    `json:"minRI"`
+	Rules    []RuleJSON `json:"rules"`
+}
+
+// MatchJSON is the wire form of one triggered rule.
+type MatchJSON struct {
+	RuleJSON
+	// Triggers maps antecedent items to the basket item that satisfied them.
+	Triggers map[string]string `json:"triggers"`
+}
+
+// scoreRequest is the /score request body.
+type scoreRequest struct {
+	Basket []string `json:"basket"`
+	MinRI  *float64 `json:"minRI,omitempty"` // per-request threshold; nil = serve all
+	Limit  int      `json:"limit,omitempty"`
+}
+
+// scoreResponse is the /score payload: the negative rules the basket
+// triggers — consequents the customer is unlikely to also buy.
+type scoreResponse struct {
+	Basket  []string    `json:"basket"`
+	MinRI   float64     `json:"minRI"`
+	Matches []MatchJSON `json:"matches"`
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status     string       `json:"status"`
+	Snapshot   SnapshotInfo `json:"snapshot"`
+	AgeSeconds float64      `json:"snapshotAgeSeconds"`
+}
+
+// reloadResponse is the /reload payload.
+type reloadResponse struct {
+	Status string `json:"status"`          // "reloading", "already-reloading" or "ok"
+	Error  string `json:"error,omitempty"` // set on synchronous (?wait=1) failure
+}
+
+// Handler returns the daemon's HTTP handler:
+//
+//	GET  /rules?item=NAME[&minri=F][&limit=N]   rules on NAME or its ancestors
+//	POST /score   {"basket": [...], "minRI": F} rules the basket triggers
+//	GET  /healthz                               liveness + snapshot info
+//	GET  /metrics                               counters, latency, reload state
+//	POST /reload[?wait=1]                       rebuild + swap the snapshot
+//
+// Every endpoint serves from one Snapshot pointer loaded at request start,
+// so responses are internally consistent even while a reload swaps.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/rules", s.instrument(epRules, http.HandlerFunc(s.handleRules)))
+	mux.Handle("/score", s.instrument(epScore, http.HandlerFunc(s.handleScore)))
+	mux.Handle("/healthz", s.instrument(epHealthz, http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/metrics", s.instrument(epMetrics, http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("/reload", s.instrument(epReload, http.HandlerFunc(s.handleReload)))
+	mux.Handle("/", s.instrument(epOther, http.NotFoundHandler()))
+	return mux
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(ep int, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.metrics.observe(ep, time.Since(start), sw.status)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET /rules?item=NAME")
+		return
+	}
+	item := r.URL.Query().Get("item")
+	if item == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter: item")
+		return
+	}
+	minRI := 0.0
+	if v := r.URL.Query().Get("minri"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad minri %q: %v", v, err)
+			return
+		}
+		minRI = f
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	snap := s.Snapshot()
+	entries := snap.QueryItem(item, minRI, limit)
+	resp := rulesResponse{
+		Item:     item,
+		Expanded: snap.Expand(item),
+		MinRI:    minRI,
+		Rules:    make([]RuleJSON, len(entries)),
+	}
+	for i, e := range entries {
+		resp.Rules[i] = ruleJSON(e)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, `use POST /score with {"basket": [...]}`)
+		return
+	}
+	var req scoreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Basket) == 0 {
+		writeError(w, http.StatusBadRequest, "basket must contain at least one item")
+		return
+	}
+	minRI := 0.0
+	if req.MinRI != nil {
+		minRI = *req.MinRI
+	}
+	snap := s.Snapshot()
+	matches := snap.Score(req.Basket, minRI, req.Limit)
+	resp := scoreResponse{
+		Basket:  req.Basket,
+		MinRI:   minRI,
+		Matches: make([]MatchJSON, len(matches)),
+	}
+	for i, m := range matches {
+		resp.Matches[i] = MatchJSON{RuleJSON: ruleJSON(m.Rule), Triggers: m.Triggers}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Snapshot:   snap.Info(),
+		AgeSeconds: snap.Age().Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteJSON(w, s.Snapshot())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST /reload")
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		if err := s.Reload(r.Context()); err != nil {
+			writeJSON(w, http.StatusInternalServerError, reloadResponse{Status: "failed", Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, reloadResponse{Status: "ok"})
+		return
+	}
+	// The background reload outlives this request; don't tie it to the
+	// request context or the swap would be cancelled as the 202 returns.
+	if s.TriggerReload(context.Background()) {
+		writeJSON(w, http.StatusAccepted, reloadResponse{Status: "reloading"})
+	} else {
+		writeJSON(w, http.StatusAccepted, reloadResponse{Status: "already-reloading"})
+	}
+}

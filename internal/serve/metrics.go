@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latency histogram bucket upper bounds. The last bucket is +Inf.
+// (An array, not a slice, so len() is a compile-time constant below.)
+var bucketBounds = [...]time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	1 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	buckets [len(bucketBounds) + 1]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for ; i < len(bucketBounds); i++ {
+		if d <= bucketBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// quantile estimates q ∈ (0,1] from the bucket counts (upper-bound of the
+// bucket containing the q-th observation — the usual Prometheus-style bound).
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			// +Inf bucket: report the largest finite bound.
+			return bucketBounds[len(bucketBounds)-1]
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+type histogramJSON struct {
+	Count   int64            `json:"count"`
+	MeanMs  float64          `json:"meanMs"`
+	P50Ms   float64          `json:"p50Ms"`
+	P99Ms   float64          `json:"p99Ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *histogram) export(withBuckets bool) histogramJSON {
+	out := histogramJSON{Count: h.count.Load()}
+	if out.Count > 0 {
+		out.MeanMs = float64(h.sumNs.Load()) / float64(out.Count) / 1e6
+		out.P50Ms = h.quantile(0.50).Seconds() * 1e3
+		out.P99Ms = h.quantile(0.99).Seconds() * 1e3
+	}
+	if withBuckets && out.Count > 0 {
+		out.Buckets = map[string]int64{}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				label := "+Inf"
+				if i < len(bucketBounds) {
+					label = "le=" + bucketBounds[i].String()
+				}
+				out.Buckets[label] = n
+			}
+		}
+	}
+	return out
+}
+
+// endpoint ids tracked by Metrics.
+const (
+	epRules = iota
+	epScore
+	epHealthz
+	epMetrics
+	epReload
+	epOther
+	epCount
+)
+
+var endpointNames = [epCount]string{"rules", "score", "healthz", "metrics", "reload", "other"}
+
+// Metrics aggregates the daemon's counters: per-endpoint request and error
+// counts, per-endpoint latency histograms, and reload outcomes. Everything
+// is lock-free (atomics) — the /metrics handler reads while request
+// goroutines write. Hand-rolled expvar-style JSON, no external deps.
+type Metrics struct {
+	requests [epCount]atomic.Int64
+	errors   [epCount]atomic.Int64 // responses with status ≥ 400
+	latency  [epCount]histogram
+
+	reloadOK      atomic.Int64
+	reloadFail    atomic.Int64
+	lastReloadNs  atomic.Int64 // unix nanos of the last successful swap
+	lastReloadErr atomic.Value // string; "" when the last reload succeeded
+	start         time.Time
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now()}
+	m.lastReloadErr.Store("")
+	return m
+}
+
+func (m *Metrics) observe(ep int, d time.Duration, status int) {
+	if ep < 0 || ep >= epCount {
+		ep = epOther
+	}
+	m.requests[ep].Add(1)
+	if status >= 400 {
+		m.errors[ep].Add(1)
+	}
+	m.latency[ep].observe(d)
+}
+
+func (m *Metrics) recordReload(err error) {
+	if err != nil {
+		m.reloadFail.Add(1)
+		m.lastReloadErr.Store(err.Error())
+		return
+	}
+	m.reloadOK.Add(1)
+	m.lastReloadErr.Store("")
+	m.lastReloadNs.Store(time.Now().UnixNano())
+}
+
+// endpointJSON is one endpoint's exported block.
+type endpointJSON struct {
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	Latency  histogramJSON `json:"latency"`
+}
+
+// metricsJSON is the full /metrics document.
+type metricsJSON struct {
+	UptimeSeconds float64                 `json:"uptimeSeconds"`
+	Endpoints     map[string]endpointJSON `json:"endpoints"`
+	Reloads       struct {
+		OK        int64   `json:"ok"`
+		Failed    int64   `json:"failed"`
+		LastError string  `json:"lastError,omitempty"`
+		LastOKAgo float64 `json:"lastOkAgeSeconds,omitempty"`
+	} `json:"reloads"`
+	Snapshot struct {
+		SnapshotInfo
+		AgeSeconds float64 `json:"ageSeconds"`
+	} `json:"snapshot"`
+}
+
+// WriteJSON renders the metrics (plus the current snapshot's info) as
+// indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
+	var doc metricsJSON
+	doc.UptimeSeconds = time.Since(m.start).Seconds()
+	doc.Endpoints = map[string]endpointJSON{}
+	for ep := 0; ep < epCount; ep++ {
+		if m.requests[ep].Load() == 0 {
+			continue
+		}
+		doc.Endpoints[endpointNames[ep]] = endpointJSON{
+			Requests: m.requests[ep].Load(),
+			Errors:   m.errors[ep].Load(),
+			Latency:  m.latency[ep].export(true),
+		}
+	}
+	doc.Reloads.OK = m.reloadOK.Load()
+	doc.Reloads.Failed = m.reloadFail.Load()
+	doc.Reloads.LastError = m.lastReloadErr.Load().(string)
+	if ns := m.lastReloadNs.Load(); ns > 0 {
+		doc.Reloads.LastOKAgo = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	if snap != nil {
+		doc.Snapshot.SnapshotInfo = snap.Info()
+		doc.Snapshot.AgeSeconds = snap.Age().Seconds()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadFunc produces a fresh Snapshot — by re-reading a report file, or by
+// running the full mining pipeline. It is called once at startup and again
+// on every reload; it must not mutate any previously returned Snapshot.
+type LoadFunc func(ctx context.Context) (*Snapshot, error)
+
+// Server owns the current Snapshot and swaps it atomically on reload.
+// Readers call Snapshot() and get an immutable value they can use for the
+// whole request without holding any lock; a concurrent reload builds the
+// next snapshot off to the side and publishes it with a single pointer
+// store. A failed reload publishes nothing: the old snapshot keeps serving
+// and the error is surfaced through Metrics and the log.
+type Server struct {
+	load    LoadFunc
+	snap    atomic.Pointer[Snapshot]
+	metrics *Metrics
+	logf    func(format string, args ...any)
+
+	reloadMu  sync.Mutex  // serializes loads; readers never touch it
+	reloading atomic.Bool // a reload is in flight (coalesces triggers)
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger replaces the default stderr logger.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// WithMetrics supplies an external metrics set (the default is fresh).
+func WithMetrics(m *Metrics) Option {
+	return func(s *Server) { s.metrics = m }
+}
+
+// NewServer builds a server and performs the initial load synchronously —
+// the daemon refuses to start without a serveable snapshot.
+func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, error) {
+	s := &Server{load: load}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.metrics == nil {
+		s.metrics = NewMetrics()
+	}
+	if s.logf == nil {
+		logger := log.New(os.Stderr, "negmined: ", log.LstdFlags)
+		s.logf = logger.Printf
+	}
+	snap, err := load(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial load: %w", err)
+	}
+	s.snap.Store(snap)
+	return s, nil
+}
+
+// Snapshot returns the current snapshot. The result is immutable and stays
+// valid (and correct for its point in time) even if a reload swaps in a
+// newer one mid-request.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Metrics exposes the server's metrics set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Reload synchronously builds a fresh snapshot and swaps it in. On error
+// the current snapshot is left in place, the failure is counted in metrics
+// with the error text retained, and the error is returned. Concurrent
+// Reload calls serialize; readers are never blocked either way.
+func (s *Server) Reload(ctx context.Context) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.reloading.Store(true)
+	defer s.reloading.Store(false)
+
+	start := time.Now()
+	snap, err := s.load(ctx)
+	s.metrics.recordReload(err)
+	if err != nil {
+		s.logf("reload failed after %v (keeping snapshot of %d rules): %v",
+			time.Since(start).Round(time.Millisecond), s.Snapshot().Len(), err)
+		return err
+	}
+	old := s.snap.Swap(snap)
+	s.logf("reload ok in %v: %d rules (was %d)",
+		time.Since(start).Round(time.Millisecond), snap.Len(), old.Len())
+	return nil
+}
+
+// TriggerReload starts a reload in the background unless one is already in
+// flight (triggers coalesce, best-effort; Reload itself fully serializes).
+// It reports whether a reload was started.
+func (s *Server) TriggerReload(ctx context.Context) bool {
+	if s.reloading.Load() {
+		return false
+	}
+	go func() { _ = s.Reload(ctx) }()
+	return true
+}
+
+// Watch polls path's mtime every interval and reloads when it changes —
+// the "drop a fresh report/data file in place" workflow. It blocks until
+// ctx is cancelled, so callers run it in a goroutine.
+func (s *Server) Watch(ctx context.Context, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var last time.Time
+	if fi, err := os.Stat(path); err == nil {
+		last = fi.ModTime()
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fi, err := os.Stat(path)
+			if err != nil {
+				continue // transient (file being replaced); retry next tick
+			}
+			if mt := fi.ModTime(); mt.After(last) {
+				last = mt
+				s.logf("watch: %s changed, reloading", path)
+				_ = s.Reload(ctx)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package serve is the online rule-serving layer: it turns a mined negative
+// rule set into an immutable, item-indexed Snapshot and exposes it over HTTP
+// (cmd/negmined) to concurrent readers — the "which customers who buy X are
+// unlikely to buy Y?" workflow the paper motivates.
+//
+// The design is read-optimized: a Snapshot is built once, never mutated, and
+// shared by any number of goroutines without locks. Re-mining produces a
+// fresh Snapshot that the Server swaps in with an atomic pointer store, so
+// queries never observe a half-built index and never block on a writer. A
+// failed re-mine keeps the previous Snapshot serving.
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"negmine/internal/item"
+	"negmine/internal/rulestore"
+	"negmine/internal/taxonomy"
+)
+
+// Snapshot is one immutable, fully-indexed rule set. All methods are safe
+// for concurrent use; none mutate the receiver.
+//
+// Rules are indexed three ways:
+//
+//   - by antecedent item: every name appearing on a rule's left side,
+//   - by consequent item: every name on the right side,
+//   - by taxonomy ancestor: each item name maps to its ancestor names, so a
+//     query for a leaf (pepsi) also surfaces rules mined at category level
+//     (soft-drinks) — the generalized rules the paper's stage 1 produces.
+type Snapshot struct {
+	// rules are presorted by descending RI (ties by signature), so index
+	// order is serving-rank order: queries union posting lists and sort
+	// plain ints instead of comparing rules.
+	rules  []rulestore.Entry
+	byAnte map[string][]int // item name → indexes into rules, ascending
+	byCons map[string][]int
+	anc    map[string][]string // item name → ancestor names, nearest-first
+
+	built    time.Time     // when the snapshot finished building
+	buildDur time.Duration // how long indexing took
+	source   string        // human-readable provenance ("report foo.json", "mined baskets.txt")
+	minSup   float64       // thresholds the rule set was mined at (0 if unknown)
+	minRI    float64
+}
+
+// SnapshotInfo is the metadata block surfaced by /healthz and /metrics.
+type SnapshotInfo struct {
+	Rules        int       `json:"rules"`
+	IndexedItems int       `json:"indexedItems"`
+	Built        time.Time `json:"built"`
+	BuildSeconds float64   `json:"buildSeconds"`
+	Source       string    `json:"source,omitempty"`
+	MinSupport   float64   `json:"minSupport,omitempty"`
+	MinRI        float64   `json:"minRI,omitempty"`
+}
+
+// BuildSnapshot indexes a rule store. tax supplies the ancestor index and
+// may be nil (queries then match exact item names only). meta describes
+// provenance; its zero value is fine.
+func BuildSnapshot(st *rulestore.Store, tax *taxonomy.Taxonomy, meta Meta) *Snapshot {
+	start := time.Now()
+	s := &Snapshot{
+		rules:  make([]rulestore.Entry, 0, st.Len()),
+		byAnte: map[string][]int{},
+		byCons: map[string][]int{},
+		anc:    map[string][]string{},
+		source: meta.Source,
+		minSup: meta.MinSupport,
+		minRI:  meta.MinRI,
+	}
+	st.Each(func(e rulestore.Entry) bool {
+		s.rules = append(s.rules, e)
+		return true
+	})
+	// Each yields signature order; re-sort by descending RI so that index
+	// order is rank order (the signature order from Each breaks RI ties,
+	// keeping the result deterministic).
+	sort.SliceStable(s.rules, func(i, j int) bool { return s.rules[i].RI > s.rules[j].RI })
+	for i, e := range s.rules {
+		for _, n := range e.Antecedent {
+			s.byAnte[n] = append(s.byAnte[n], i)
+		}
+		for _, n := range e.Consequent {
+			s.byCons[n] = append(s.byCons[n], i)
+		}
+	}
+	if tax != nil {
+		// Ancestor chains for every node the taxonomy knows. Chains are
+		// resolved to names once at build time so queries are pure map hits.
+		for id := 0; id < tax.Size(); id++ {
+			ancs := tax.AncestorsOf(item.Item(id))
+			if len(ancs) == 0 {
+				continue
+			}
+			names := make([]string, len(ancs))
+			for j, a := range ancs {
+				names[j] = tax.Name(a)
+			}
+			s.anc[tax.Name(item.Item(id))] = names
+		}
+	}
+	s.buildDur = time.Since(start)
+	s.built = time.Now()
+	return s
+}
+
+// Meta carries snapshot provenance recorded at build time.
+type Meta struct {
+	Source     string  // where the rules came from
+	MinSupport float64 // mining thresholds, if known
+	MinRI      float64
+}
+
+// Len returns the number of rules in the snapshot.
+func (s *Snapshot) Len() int { return len(s.rules) }
+
+// Rules returns all rules in serving order (descending RI, ties by
+// signature). The slice is shared; callers must not modify it.
+func (s *Snapshot) Rules() []rulestore.Entry { return s.rules }
+
+// Info summarizes the snapshot for health and metrics endpoints.
+func (s *Snapshot) Info() SnapshotInfo {
+	items := map[string]struct{}{}
+	for n := range s.byAnte {
+		items[n] = struct{}{}
+	}
+	for n := range s.byCons {
+		items[n] = struct{}{}
+	}
+	return SnapshotInfo{
+		Rules:        len(s.rules),
+		IndexedItems: len(items),
+		Built:        s.built,
+		BuildSeconds: s.buildDur.Seconds(),
+		Source:       s.source,
+		MinSupport:   s.minSup,
+		MinRI:        s.minRI,
+	}
+}
+
+// Age returns how long ago the snapshot was built.
+func (s *Snapshot) Age() time.Duration { return time.Since(s.built) }
+
+// Expand returns name followed by its taxonomy ancestors (nearest-first).
+// Unknown names expand to themselves.
+func (s *Snapshot) Expand(name string) []string {
+	out := make([]string, 0, 1+len(s.anc[name]))
+	out = append(out, name)
+	out = append(out, s.anc[name]...)
+	return out
+}
+
+// QueryItem returns the rules mentioning name — or any taxonomy ancestor of
+// name — on either side, with RI ≥ minRI, ordered by descending RI (ties
+// broken by signature order for determinism). limit ≤ 0 means unlimited.
+func (s *Snapshot) QueryItem(name string, minRI float64, limit int) []rulestore.Entry {
+	hit := map[int]struct{}{}
+	idx := make([]int, 0, 16)
+	for _, n := range s.Expand(name) {
+		for _, lists := range [2]map[string][]int{s.byAnte, s.byCons} {
+			for _, i := range lists[n] {
+				// Posting lists are ascending and rules RI-descending, so
+				// everything after the first miss also misses.
+				if s.rules[i].RI < minRI {
+					break
+				}
+				if _, ok := hit[i]; !ok {
+					hit[i] = struct{}{}
+					idx = append(idx, i)
+				}
+			}
+		}
+	}
+	// Ascending index = descending RI: rank order with an integer sort.
+	sort.Ints(idx)
+	if limit > 0 && len(idx) > limit {
+		idx = idx[:limit]
+	}
+	out := make([]rulestore.Entry, len(idx))
+	for i, j := range idx {
+		out[i] = s.rules[j]
+	}
+	return out
+}
+
+// Match is one rule triggered by a basket: the customer's basket covers the
+// whole antecedent, so the rule predicts they are unlikely to also buy the
+// consequent.
+type Match struct {
+	Rule rulestore.Entry
+	// Triggers maps each antecedent item to the basket item that satisfied
+	// it (the item itself, or the basket descendant whose ancestor chain
+	// reached it).
+	Triggers map[string]string
+}
+
+// Score evaluates a basket against the snapshot: it extends the basket with
+// taxonomy ancestors (a basket containing pepsi supports soft-drinks) and
+// returns every rule whose full antecedent is covered by the extended basket
+// and whose RI meets the per-request threshold. Results are ordered by
+// descending RI, ties by signature order. limit ≤ 0 means unlimited.
+func (s *Snapshot) Score(basket []string, minRI float64, limit int) []Match {
+	// satisfies maps every name the basket supports to the concrete basket
+	// item that produced it.
+	satisfies := map[string]string{}
+	for _, b := range basket {
+		for _, n := range s.Expand(b) {
+			if _, ok := satisfies[n]; !ok {
+				satisfies[n] = b
+			}
+		}
+	}
+	// Candidate rules: any rule whose antecedent mentions a supported name.
+	cand := map[int]struct{}{}
+	idx := make([]int, 0, 16)
+	for n := range satisfies {
+		for _, i := range s.byAnte[n] {
+			if s.rules[i].RI < minRI {
+				break // RI-descending posting list: the rest miss too
+			}
+			if _, ok := cand[i]; ok {
+				continue
+			}
+			cand[i] = struct{}{}
+			covered := true
+			for _, a := range s.rules[i].Antecedent {
+				if _, ok := satisfies[a]; !ok {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				idx = append(idx, i)
+			}
+		}
+	}
+	// Ascending index = descending RI.
+	sort.Ints(idx)
+	if limit > 0 && len(idx) > limit {
+		idx = idx[:limit]
+	}
+	out := make([]Match, len(idx))
+	for i, j := range idx {
+		trig := make(map[string]string, len(s.rules[j].Antecedent))
+		for _, a := range s.rules[j].Antecedent {
+			trig[a] = satisfies[a]
+		}
+		out[i] = Match{Rule: s.rules[j], Triggers: trig}
+	}
+	return out
+}

@@ -289,6 +289,41 @@ func CompareRules(old, new *RuleStore, riTolerance float64) *RuleDiff {
 	return rulestore.Compare(old, new, riTolerance)
 }
 
+// NegativeReport is the exportable, name-resolved form of a negative mining
+// run — the JSON document WriteNegativeJSON emits and cmd/negmined serves.
+type NegativeReport = report.NegativeReport
+
+// BuildNegativeReport converts a mining result into its exportable form
+// without serializing it — the in-process path from MineNegative to a
+// serving snapshot.
+func BuildNegativeReport(res *NegativeResult, minSup, minRI float64, name func(Item) string) *NegativeReport {
+	return report.BuildNegative(res, minSup, minRI, name)
+}
+
+// ReadNegativeReport parses a report previously written by
+// WriteNegativeJSON.
+func ReadNegativeReport(r io.Reader) (*NegativeReport, error) {
+	return report.ReadNegativeJSON(r)
+}
+
+// RuleStoreFromReport indexes an already-parsed report (LoadRuleStore
+// without the JSON round-trip).
+func RuleStoreFromReport(rep *NegativeReport) *RuleStore {
+	return rulestore.FromReport(rep)
+}
+
+// MineNegativeReport runs the full negative pipeline and returns the
+// exportable report form in one call. It is the hot re-mining entrypoint
+// cmd/negmined invokes on /reload: the daemon builds a fresh snapshot from
+// the returned report and atomically swaps it in.
+func MineNegativeReport(db DB, tax *Taxonomy, opt NegativeOptions) (*NegativeReport, error) {
+	res, err := MineNegative(db, tax, opt)
+	if err != nil {
+		return nil, err
+	}
+	return BuildNegativeReport(res, opt.MinSupport, opt.MinRI, tax.Name), nil
+}
+
 // ExplainRule renders a step-by-step derivation of a negative rule — the
 // source large itemset, the child/sibling swap, expected vs actual support
 // and the RI computation — for auditability.
