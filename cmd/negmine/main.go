@@ -23,6 +23,9 @@
 //	-format name   text (default), json or csv; `-format json` writes the
 //	               report document that cmd/negmined serves online
 //	               (negmined -report rules.json) and that -diff reads back
+//	-o file        write results to this file atomically (temp + fsync +
+//	               rename) instead of stdout; a crash mid-write never
+//	               truncates an existing report
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	"negmine"
+	"negmine/internal/atomicio"
 	"negmine/internal/report"
 )
 
@@ -66,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		filter    = fs.String("filter", "deviation", "negative-itemset filter: deviation (§2) or absolute (Figure 3)")
 		explain   = fs.Bool("explain", false, "print the full derivation of every negative rule")
 		diffPath  = fs.String("diff", "", "previous run's JSON report: print appeared/disappeared/changed rules")
+		outPath   = fs.String("o", "", "write results to this file instead of stdout (atomic: temp file + fsync + rename, so a crash never truncates an existing report)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,74 +155,90 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	switch strings.ToLower(*format) {
-	case "json":
-		return report.WriteNegativeJSON(out, res, *minSup, *minRI, tax.Name)
-	case "csv":
-		return report.WriteNegativeCSV(out, res, tax.Name)
-	}
-
-	fmt.Fprintf(out, "\nstage 1 (%v): %d generalized large itemsets in %v\n",
-		genAlg, len(res.Large.Large()), res.Timing.Stage1.Round(timeUnit))
-	fmt.Fprintf(out, "stage 2+3 (%v): %d candidates, %d negative itemsets, %d rules in %v\n",
-		negAlg, res.TotalCandidates(), len(res.Negatives), len(res.Rules),
-		res.Timing.Negative.Round(timeUnit))
-
-	if *negatives {
-		fmt.Fprintln(out, "\nnegative itemsets (expected vs actual support):")
-		for _, n := range res.Negatives {
-			fmt.Fprintf(out, "  %s  exp=%.4f act=%.4f\n", n.Set.Format(tax.Name), n.Expected, n.Actual())
+	// emit renders the whole result document to one writer, so the same
+	// code path serves stdout and the crash-safe -o file.
+	emit := func(w io.Writer) error {
+		switch strings.ToLower(*format) {
+		case "json":
+			return report.WriteNegativeJSON(w, res, *minSup, *minRI, tax.Name)
+		case "csv":
+			return report.WriteNegativeCSV(w, res, tax.Name)
 		}
-	}
 
-	fmt.Fprintln(out, "\nnegative rules:")
-	if len(res.Rules) == 0 {
-		fmt.Fprintln(out, "  (none at these thresholds)")
-	}
-	for _, r := range res.Rules {
-		fmt.Fprintf(out, "  %s\n", r.Format(tax.Name))
-	}
-	if *explain && len(res.Rules) > 0 {
-		fmt.Fprintln(out, "\nderivations:")
+		fmt.Fprintf(w, "\nstage 1 (%v): %d generalized large itemsets in %v\n",
+			genAlg, len(res.Large.Large()), res.Timing.Stage1.Round(timeUnit))
+		fmt.Fprintf(w, "stage 2+3 (%v): %d candidates, %d negative itemsets, %d rules in %v\n",
+			negAlg, res.TotalCandidates(), len(res.Negatives), len(res.Rules),
+			res.Timing.Negative.Round(timeUnit))
+
+		if *negatives {
+			fmt.Fprintln(w, "\nnegative itemsets (expected vs actual support):")
+			for _, n := range res.Negatives {
+				fmt.Fprintf(w, "  %s  exp=%.4f act=%.4f\n", n.Set.Format(tax.Name), n.Expected, n.Actual())
+			}
+		}
+
+		fmt.Fprintln(w, "\nnegative rules:")
+		if len(res.Rules) == 0 {
+			fmt.Fprintln(w, "  (none at these thresholds)")
+		}
 		for _, r := range res.Rules {
-			fmt.Fprintln(out, negmine.ExplainRule(r, res, tax.Name))
+			fmt.Fprintf(w, "  %s\n", r.Format(tax.Name))
 		}
-	}
+		if *explain && len(res.Rules) > 0 {
+			fmt.Fprintln(w, "\nderivations:")
+			for _, r := range res.Rules {
+				fmt.Fprintln(w, negmine.ExplainRule(r, res, tax.Name))
+			}
+		}
 
-	if *diffPath != "" {
-		f, err := os.Open(*diffPath)
-		if err != nil {
-			return err
-		}
-		old, err := negmine.LoadRuleStore(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "\nvs previous run (%s):\n", *diffPath)
-		negmine.CompareRules(old, negmine.NewRuleStore(res, tax.Name), 0.05).Print(out)
-	}
-
-	if *positive {
-		rules, err := negmine.GenerateRules(res.Large, *minConf)
-		if err != nil {
-			return err
-		}
-		header := fmt.Sprintf("\npositive generalized rules (minconf %.2f):", *minConf)
-		if *interest > 0 {
-			rules, err = negmine.PruneInteresting(rules, res.Large, tax, *interest)
+		if *diffPath != "" {
+			f, err := os.Open(*diffPath)
 			if err != nil {
 				return err
 			}
-			header = fmt.Sprintf("\npositive generalized rules (minconf %.2f, R-interesting at %.2f):", *minConf, *interest)
+			old, err := negmine.LoadRuleStore(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nvs previous run (%s):\n", *diffPath)
+			negmine.CompareRules(old, negmine.NewRuleStore(res, tax.Name), 0.05).Print(w)
 		}
-		sort.Slice(rules, func(i, j int) bool { return rules[i].Confidence > rules[j].Confidence })
-		fmt.Fprintln(out, header)
-		for _, r := range rules {
-			fmt.Fprintf(out, "  %s\n", r.Format(tax.Name))
+
+		if *positive {
+			rules, err := negmine.GenerateRules(res.Large, *minConf)
+			if err != nil {
+				return err
+			}
+			header := fmt.Sprintf("\npositive generalized rules (minconf %.2f):", *minConf)
+			if *interest > 0 {
+				rules, err = negmine.PruneInteresting(rules, res.Large, tax, *interest)
+				if err != nil {
+					return err
+				}
+				header = fmt.Sprintf("\npositive generalized rules (minconf %.2f, R-interesting at %.2f):", *minConf, *interest)
+			}
+			sort.Slice(rules, func(i, j int) bool { return rules[i].Confidence > rules[j].Confidence })
+			fmt.Fprintln(w, header)
+			for _, r := range rules {
+				fmt.Fprintf(w, "  %s\n", r.Format(tax.Name))
+			}
 		}
+		return nil
 	}
-	return nil
+
+	if *outPath != "" {
+		// Crash-safe: the document lands in a temp file that replaces
+		// *outPath only after a full, fsynced write. A run killed mid-write
+		// leaves any previous report untouched.
+		if err := atomicio.WriteFile(*outPath, emit); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+		return nil
+	}
+	return emit(out)
 }
 
 // loadSubstitutes parses a substitute-group file: one group per line, item

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"negmine/internal/atomicio"
+	"negmine/internal/fault"
+	"negmine/internal/report"
+)
+
+// TestOutputFlagWritesReportFile: -o writes the same JSON document stdout
+// would carry, and the file round-trips through the report reader.
+func TestOutputFlagWritesReportFile(t *testing.T) {
+	data, tax := writeFixtures(t)
+	outFile := filepath.Join(t.TempDir(), "rules.json")
+
+	var stdout bytes.Buffer
+	err := run([]string{"-data", data, "-tax", tax, "-minsup", "0.1", "-format", "json", "-o", outFile}, &stdout)
+	if err != nil {
+		t.Fatalf("run with -o: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+outFile) {
+		t.Fatalf("stdout missing confirmation: %q", stdout.String())
+	}
+
+	f, err := os.Open(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := report.ReadNegativeJSON(f)
+	if err != nil {
+		t.Fatalf("reading -o output back: %v", err)
+	}
+	if rep.MinSupport != 0.1 {
+		t.Fatalf("report minSupport = %v, want 0.1", rep.MinSupport)
+	}
+
+	// The file content matches a stdout run byte for byte.
+	var direct bytes.Buffer
+	if err := run([]string{"-data", data, "-tax", tax, "-minsup", "0.1", "-format", "json"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, direct.Bytes()) {
+		t.Fatal("-o file differs from stdout output")
+	}
+}
+
+// TestKilledOutputWriteKeepsOldReport arms the atomicio write failpoint so
+// the run dies mid-write: the previous report must survive untouched and no
+// temp file may be left behind.
+func TestKilledOutputWriteKeepsOldReport(t *testing.T) {
+	data, tax := writeFixtures(t)
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "rules.json")
+	old := []byte(`{"minSupport":0.5,"minRI":0.5,"rules":null,"negativeItemsets":null}`)
+	if err := os.WriteFile(outFile, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	defer fault.Enable(atomicio.PointWrite, fault.Error("disk died"), fault.OnHit(1))()
+	var stdout bytes.Buffer
+	err := run([]string{"-data", data, "-tax", tax, "-minsup", "0.1", "-format", "json", "-o", outFile}, &stdout)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("run with dying write = %v, want injected error", err)
+	}
+
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("previous report was damaged by the failed write:\n%s", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp-file litter after failed write: %v", entries)
+	}
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"negmine"
+	"negmine/internal/bench"
+	"negmine/internal/fault"
+	"negmine/internal/serve"
+)
+
+// writeExampleFiles mines the paper's worked example and writes the report
+// and taxonomy files a daemon can serve.
+func writeExampleFiles(t *testing.T) (repPath, taxPath string) {
+	t.Helper()
+	tax, db, err := bench.PaperExample()
+	if err != nil {
+		t.Fatalf("PaperExample: %v", err)
+	}
+	res, err := negmine.MineNegative(db, tax, negmine.NegativeOptions{MinSupport: 0.04, MinRI: 0.5})
+	if err != nil {
+		t.Fatalf("MineNegative: %v", err)
+	}
+	dir := t.TempDir()
+	repPath = filepath.Join(dir, "rules.json")
+	taxPath = filepath.Join(dir, "tax.txt")
+	rf, err := os.Create(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := negmine.WriteNegativeJSON(rf, res, 0.04, 0.5, tax.Name); err != nil {
+		t.Fatalf("WriteNegativeJSON: %v", err)
+	}
+	rf.Close()
+	tf, err := os.Create(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Write(tf); err != nil {
+		t.Fatalf("taxonomy Write: %v", err)
+	}
+	tf.Close()
+	return repPath, taxPath
+}
+
+// syncBuffer is an io.Writer safe for the concurrent run goroutine + test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunDrainsOnSIGTERM boots the real daemon on a random port, puts a
+// slow request in flight, sends the process SIGTERM, and verifies the
+// request completes (drain) and run returns nil (exit code 0).
+func TestRunDrainsOnSIGTERM(t *testing.T) {
+	repPath, taxPath := writeExampleFiles(t)
+	out := &syncBuffer{}
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-report", repPath, "-tax", taxPath,
+			"-drain", "5s",
+		}, out)
+	}()
+
+	// Wait for the listen line and pull the bound address from it.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "on http://") {
+			addr = strings.TrimSpace(s[strings.Index(s, "on http://")+len("on http://"):])
+			addr = strings.Fields(addr)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Make every handler slow so the drain has something to wait for.
+	defer fault.Enable(serve.PointHandler, fault.Sleep(300*time.Millisecond))()
+
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			reqDone <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			reqDone <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		reqDone <- nil
+	}()
+
+	// Let the request get into the (sleeping) handler, then signal.
+	time.Sleep(100 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	select {
+	case err := <-reqDone:
+		if err != nil {
+			t.Fatalf("in-flight request during drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil (exit 0)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never returned after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "drained, bye") {
+		t.Fatalf("missing drain farewell in output:\n%s", s)
+	}
+}
+
+// TestReloadKeepsSnapshotOnCorruptReport corrupts the report file under a
+// running daemon: the reload must fail loudly while the previous snapshot
+// keeps serving, and the failure must be visible in /metrics.
+func TestReloadKeepsSnapshotOnCorruptReport(t *testing.T) {
+	repPath, taxPath := writeExampleFiles(t)
+	srv, h := newDaemon(t, "-report", repPath, "-tax", taxPath)
+
+	var before rulesResp
+	getJSON(t, h, "/rules?item=bryers", &before)
+	if len(before.Rules) == 0 {
+		t.Fatal("daemon served no rules before corruption")
+	}
+
+	for _, corrupt := range []string{
+		`{"minSupport": 0.04, "rules": [{"antecedent"`, // truncated mid-document
+		`this is not json at all`,
+		`{"rules": [{"antecedent": [], "consequent": ["x"]}]}`, // structurally invalid
+	} {
+		if err := os.WriteFile(repPath, []byte(corrupt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code := postJSON(t, h, "/reload?wait=1", "", nil); code != http.StatusInternalServerError {
+			t.Fatalf("reload of corrupt report: code = %d, want 500", code)
+		}
+		var after rulesResp
+		getJSON(t, h, "/rules?item=bryers", &after)
+		if len(after.Rules) != len(before.Rules) {
+			t.Fatalf("snapshot changed after failed reload: %d rules, was %d", len(after.Rules), len(before.Rules))
+		}
+	}
+
+	var metrics struct {
+		Reloads struct {
+			Failed    int64  `json:"failed"`
+			LastError string `json:"lastError"`
+		} `json:"reloads"`
+	}
+	getJSON(t, h, "/metrics", &metrics)
+	if metrics.Reloads.Failed != 3 || metrics.Reloads.LastError == "" {
+		t.Fatalf("reload failures not surfaced in metrics: %+v", metrics.Reloads)
+	}
+
+	// A repaired file reloads fine.
+	rep2, _ := writeExampleFiles(t)
+	data, err := os.ReadFile(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(repPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, h, "/reload?wait=1", "", nil); code != http.StatusOK {
+		t.Fatalf("reload of repaired report: code = %d, want 200", code)
+	}
+	_ = srv
+}

@@ -33,19 +33,29 @@
 //	-tax file         taxonomy: "parent child" edges (required)
 //	-minsup/-minri    mining thresholds (mining mode)
 //	-gen/-alg/-parallel/-backend/-maxk  mining pipeline knobs, as in negmine
-//	-watch            poll the source file's mtime and reload on change
+//	-watch            poll the source file and reload when it settles
 //	-poll d           watch interval (default 2s)
+//	-read-timeout/-write-timeout/-idle-timeout  http.Server limits
+//	-request-timeout  per-request handler deadline (0 = none)
+//	-drain d          graceful-shutdown drain budget (default 10s)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests get up to -drain to finish, and the process exits 0. A
+// second signal aborts the drain.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"negmine"
@@ -66,6 +76,12 @@ type config struct {
 	poll     time.Duration
 	source   string // the file -watch polls
 	loadFunc serve.LoadFunc
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+	reqTimeout   time.Duration
+	drain        time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -73,13 +89,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	srv, err := serve.NewServer(ctx, cfg.loadFunc)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := serve.NewServer(ctx, cfg.loadFunc, serve.WithRequestTimeout(cfg.reqTimeout))
 	if err != nil {
 		return err
 	}
 	if cfg.watch {
-		go srv.Watch(ctx, cfg.source, cfg.poll)
+		go srv.WatchWith(ctx, cfg.source, serve.WatchConfig{Interval: cfg.poll})
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -88,7 +106,36 @@ func run(args []string, out io.Writer) error {
 	snap := srv.Snapshot()
 	fmt.Fprintf(out, "negmined: serving %d rules (source %s) on http://%s\n",
 		snap.Len(), cfg.source, ln.Addr())
-	return http.Serve(ln, srv.Handler())
+
+	hs := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  cfg.readTimeout,
+		WriteTimeout: cfg.writeTimeout,
+		IdleTimeout:  cfg.idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop listening, let in-flight requests drain.
+	// Restoring default signal handling first means a second SIGINT/SIGTERM
+	// kills the process instead of being swallowed mid-drain.
+	stop()
+	fmt.Fprintf(out, "negmined: signal received, draining for up to %v\n", cfg.drain)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "negmined: drained, bye")
+	return nil
 }
 
 // parseFlags builds the daemon config, including the LoadFunc that /reload
@@ -109,8 +156,13 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		parallel = fs.Int("parallel", 1, "counting workers (mining mode)")
 		backend  = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
 		maxK     = fs.Int("maxk", 0, "cap large-itemset size (0 = unlimited)")
-		watch    = fs.Bool("watch", false, "poll the source file's mtime and reload on change")
-		poll     = fs.Duration("poll", 2*time.Second, "mtime poll interval for -watch")
+		watch    = fs.Bool("watch", false, "poll the source file and reload when it settles")
+		poll     = fs.Duration("poll", 2*time.Second, "poll interval for -watch")
+		readTO   = fs.Duration("read-timeout", 10*time.Second, "http.Server read timeout (0 = none)")
+		writeTO  = fs.Duration("write-timeout", 30*time.Second, "http.Server write timeout (0 = none)")
+		idleTO   = fs.Duration("idle-timeout", 2*time.Minute, "http.Server idle-connection timeout (0 = none)")
+		reqTO    = fs.Duration("request-timeout", 0, "per-request handler deadline (0 = none)")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -124,7 +176,11 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		return nil, fmt.Errorf("exactly one of -report or -data is required")
 	}
 
-	cfg := &config{addr: *addr, watch: *watch, poll: *poll}
+	cfg := &config{
+		addr: *addr, watch: *watch, poll: *poll,
+		readTimeout: *readTO, writeTimeout: *writeTO, idleTimeout: *idleTO,
+		reqTimeout: *reqTO, drain: *drain,
+	}
 	if *repPath != "" {
 		cfg.source = *repPath
 		cfg.loadFunc = reportLoader(*repPath, *taxPath)

@@ -5,9 +5,15 @@ import (
 	"strings"
 
 	"negmine/internal/bitmat"
+	"negmine/internal/fault"
 	"negmine/internal/item"
 	"negmine/internal/txdb"
 )
+
+// PointBudget is the failpoint evaluated where BackendAuto checks the
+// bitmap memory budget; arming it with an error simulates a budget trip and
+// must produce a silent, correct fallback to the hash-tree engine.
+const PointBudget = "count.bitmap.budget"
 
 // Backend names a support-counting engine.
 type Backend int
@@ -107,6 +113,9 @@ func EngineFor(db txdb.DB, groups [][]item.Itemset, transforms []TransformInto, 
 	budget := opt.BitmapBudget
 	if budget == 0 {
 		budget = DefaultBitmapBudget
+	}
+	if fault.Hit(PointBudget) != nil {
+		return HashTreeEngine{} // injected budget trip
 	}
 	if bitmat.EstimateBytes(db.Count(), usedItems(groups).Len()) > budget {
 		return HashTreeEngine{}

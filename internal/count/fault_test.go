@@ -1,0 +1,60 @@
+package count
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"negmine/internal/fault"
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+// TestBudgetTripFallsBackToHashTree arms the bitmap budget failpoint and
+// verifies BackendAuto degrades to the hash-tree engine with identical
+// counts — the graceful-fallback path a real memory trip would take.
+func TestBudgetTripFallsBackToHashTree(t *testing.T) {
+	_, leaves := testTax(t, 12)
+	db := leafDB(7, leaves, 120, 6)
+	groups := [][]item.Itemset{make([]item.Itemset, 0, leaves.Len())}
+	for _, l := range leaves {
+		groups[0] = append(groups[0], item.New(l))
+	}
+
+	want, err := Multi(db, groups, Options{}) // healthy auto pass (bitmap)
+	if err != nil {
+		t.Fatalf("baseline Multi: %v", err)
+	}
+	if eng := EngineFor(db, groups, nil, Options{}); eng.Name() != "bitmap" {
+		t.Fatalf("baseline engine = %s, want bitmap (test premise)", eng.Name())
+	}
+
+	defer fault.Enable(PointBudget, fault.Error("budget tripped"))()
+	if eng := EngineFor(db, groups, nil, Options{}); eng.Name() != "hashtree" {
+		t.Fatalf("engine under budget trip = %s, want hashtree", eng.Name())
+	}
+	got, err := Multi(db, groups, Options{})
+	if err != nil {
+		t.Fatalf("Multi under budget trip: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback counts differ from bitmap counts:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestScanFaultPropagatesFromCounting checks a mid-scan read error surfaces
+// as an error from the counting pass instead of partial counts.
+func TestScanFaultPropagatesFromCounting(t *testing.T) {
+	_, leaves := testTax(t, 8)
+	db := leafDB(9, leaves, 50, 4)
+	groups := [][]item.Itemset{{item.New(leaves[0]), item.New(leaves[1])}}
+
+	defer fault.Enable(txdb.PointScan, fault.Error("torn read"), fault.OnHit(10))()
+	for _, backend := range []Backend{BackendHashTree, BackendBitmap} {
+		_, err := Multi(db, groups, Options{Backend: backend})
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("%v: err = %v, want injected scan error", backend, err)
+		}
+		fault.Enable(txdb.PointScan, fault.Error("torn read"), fault.OnHit(10)) // reset counter
+	}
+}

@@ -1,0 +1,253 @@
+// Package fault implements deterministic failpoints: named injection sites
+// compiled into the hot paths of the library (database scans, counting
+// backends, report I/O, snapshot builds) that are no-ops in production and
+// can be armed per-test — or per-process via the NEGMINE_FAULTS environment
+// variable — to return errors, panic, or stall.
+//
+// The package exists because the system's central claim ("a failed re-mine
+// keeps the old snapshot serving", "a killed pass resumes from its
+// checkpoint") is only credible if the failures can actually be produced on
+// demand. Failpoints make partial failure a first-class, reproducible test
+// input instead of something that only happens on broken hardware.
+//
+// # Usage
+//
+// A site evaluates its point with Hit:
+//
+//	if err := fault.Hit("txdb.scan"); err != nil {
+//	    return err // injected read error
+//	}
+//
+// When no point is armed (the production default) Hit is a single atomic
+// load. A test arms a point and disarms it on the way out:
+//
+//	defer fault.Enable("txdb.scan", fault.Error("disk read failed"), fault.OnHit(3))()
+//
+// The same spec can be applied process-wide for manual chaos runs:
+//
+//	NEGMINE_FAULTS="txdb.scan=error(disk read failed):on(3);serve.swap=sleep(50ms)" negmined ...
+//
+// # Actions and triggers
+//
+// Actions: error(msg) makes Hit return an error wrapping ErrInjected;
+// panic(msg) panics; sleep(dur) stalls and returns nil. Triggers compose:
+// on(n) fires only on the n-th evaluation, after(n) only on evaluations
+// beyond the n-th, times(k) caps the number of fires, prob(p) fires with
+// probability p from a deterministic source (reseed with seed(n)). A point
+// with no trigger fires on every evaluation.
+//
+// The package has no dependencies outside the standard library and must
+// never import another negmine package (every layer is allowed to import
+// it).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected error wraps, so callers and
+// tests can tell deliberate faults from real ones with errors.Is.
+var ErrInjected = errors.New("fault injected")
+
+type actionKind int
+
+const (
+	actError actionKind = iota
+	actPanic
+	actSleep
+)
+
+// Action is what an armed failpoint does when it fires.
+type Action struct {
+	kind actionKind
+	msg  string
+	d    time.Duration
+}
+
+// Error returns an action that makes Hit return an error wrapping
+// ErrInjected with the given message.
+func Error(msg string) Action { return Action{kind: actError, msg: msg} }
+
+// Panic returns an action that makes Hit panic with the given message.
+func Panic(msg string) Action { return Action{kind: actPanic, msg: msg} }
+
+// Sleep returns an action that makes Hit stall for d and then return nil —
+// the slow-storage / stall model, and a lever for widening race windows.
+func Sleep(d time.Duration) Action { return Action{kind: actSleep, d: d} }
+
+// point is one armed failpoint.
+type point struct {
+	act   Action
+	onHit int64   // fire only on exactly this evaluation (1-based); 0 = any
+	after int64   // fire only on evaluations > after
+	times int64   // maximum number of fires; 0 = unlimited
+	prob  float64 // fire probability; 0 = always
+	rng   *rand.Rand
+
+	hits  int64
+	fired int64
+}
+
+// Option tunes when an armed failpoint fires.
+type Option func(*point)
+
+// OnHit fires only on the n-th evaluation of the point (1-based).
+func OnHit(n int) Option { return func(p *point) { p.onHit = int64(n) } }
+
+// After fires only on evaluations beyond the n-th.
+func After(n int) Option { return func(p *point) { p.after = int64(n) } }
+
+// Times caps the number of fires at n.
+func Times(n int) Option { return func(p *point) { p.times = int64(n) } }
+
+// Prob fires with probability prob, drawn from a deterministic source
+// seeded with seed (so a chaos run is reproducible).
+func Prob(prob float64, seed int64) Option {
+	return func(p *point) {
+		p.prob = prob
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	armed  atomic.Int32 // number of armed points; 0 selects the fast path
+)
+
+// Active reports whether any failpoint is armed. Scan loops may hoist this
+// check out of their hot loop and skip per-record Hit calls entirely.
+func Active() bool { return armed.Load() > 0 }
+
+// Enable arms the named failpoint and returns the function that disarms it,
+// so tests can write `defer fault.Enable(...)()`. Re-enabling an armed
+// point replaces it (counters restart).
+func Enable(name string, act Action, opts ...Option) func() {
+	p := &point{act: act}
+	for _, o := range opts {
+		o(p)
+	}
+	mu.Lock()
+	if _, dup := points[name]; !dup {
+		armed.Add(1)
+	}
+	points[name] = p
+	mu.Unlock()
+	return func() { Disable(name) }
+}
+
+// Disable disarms the named failpoint (a no-op if it is not armed).
+func Disable(name string) {
+	mu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	armed.Store(0)
+	mu.Unlock()
+}
+
+// Hits returns how many times the named point has been evaluated since it
+// was armed; Fired how many times it actually fired.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Fired returns how many times the named point has fired since it was armed.
+func Fired(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.fired
+	}
+	return 0
+}
+
+// Hit evaluates the named failpoint. With nothing armed it costs one atomic
+// load and returns nil. An armed point counts the evaluation, decides
+// whether to fire, and then sleeps, panics, or returns an error wrapping
+// ErrInjected according to its Action.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return hitSlow(name)
+}
+
+func hitSlow(name string) error {
+	mu.Lock()
+	p := points[name]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	fire := p.decide()
+	if fire {
+		p.fired++
+	}
+	act := p.act
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch act.kind {
+	case actSleep:
+		time.Sleep(act.d)
+		return nil
+	case actPanic:
+		panic(fmt.Sprintf("fault %s: %s", name, act.msg))
+	default:
+		return fmt.Errorf("fault %s: %s: %w", name, act.msg, ErrInjected)
+	}
+}
+
+// decide applies the point's triggers to the current (already counted)
+// evaluation. Called with mu held.
+func (p *point) decide() bool {
+	if p.onHit > 0 && p.hits != p.onHit {
+		return false
+	}
+	if p.hits <= p.after {
+		return false
+	}
+	if p.times > 0 && p.fired >= p.times {
+		return false
+	}
+	if p.prob > 0 && p.rng.Float64() >= p.prob {
+		return false
+	}
+	return true
+}
+
+// EnvVar is the environment variable init reads a process-wide fault spec
+// from.
+const EnvVar = "NEGMINE_FAULTS"
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := ParseSpec(spec); err != nil {
+			// A mistyped fault spec silently arming nothing would defeat
+			// the point of a chaos run: refuse to start instead.
+			panic(fmt.Sprintf("fault: bad %s: %v", EnvVar, err))
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("disabled Hit = %v, want nil", err)
+	}
+	if Active() {
+		t.Fatal("Active() = true with nothing armed")
+	}
+}
+
+func TestErrorActionFiresEveryHit(t *testing.T) {
+	defer Enable("p.err", Error("boom"))()
+	for i := 0; i < 3; i++ {
+		err := Hit("p.err")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := Fired("p.err"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	defer Enable("p.on", Error("boom"), OnHit(3))()
+	var errs []error
+	for i := 0; i < 5; i++ {
+		errs = append(errs, Hit("p.on"))
+	}
+	for i, err := range errs {
+		want := i == 2 // the third evaluation
+		if (err != nil) != want {
+			t.Errorf("hit %d: err = %v, want fire=%v", i+1, err, want)
+		}
+	}
+	if Hits("p.on") != 5 || Fired("p.on") != 1 {
+		t.Fatalf("Hits/Fired = %d/%d, want 5/1", Hits("p.on"), Fired("p.on"))
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	defer Enable("p.at", Error("boom"), After(2), Times(2))()
+	var fired int
+	for i := 0; i < 6; i++ {
+		if Hit("p.at") != nil {
+			fired++
+			if i < 2 {
+				t.Errorf("fired on hit %d, want only after 2", i+1)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (Times cap)", fired)
+	}
+}
+
+func TestProbIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		defer Enable("p.prob", Error("boom"), Prob(0.5, 42))()
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Hit("p.prob") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	some := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identically-seeded runs", i)
+		}
+		if a[i] {
+			some = true
+		}
+	}
+	if !some {
+		t.Fatal("prob(0.5) never fired in 20 hits")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Enable("p.panic", Panic("kaboom"))()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Hit did not panic")
+		}
+	}()
+	_ = Hit("p.panic")
+}
+
+func TestSleepAction(t *testing.T) {
+	defer Enable("p.sleep", Sleep(20*time.Millisecond))()
+	start := time.Now()
+	if err := Hit("p.sleep"); err != nil {
+		t.Fatalf("sleep Hit = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want ≥ 20ms stall", d)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	spec := "a.scan=error(disk read failed):on(2); b.swap=sleep(1ms) ; c.x=panic(dead):after(1):times(3)"
+	if err := ParseSpec(spec); err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if err := Hit("a.scan"); err != nil {
+		t.Fatalf("a.scan hit 1 fired: %v", err)
+	}
+	err := Hit("a.scan")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("a.scan hit 2 = %v, want injected error", err)
+	}
+	if got := err.Error(); got != "fault a.scan: disk read failed: fault injected" {
+		t.Fatalf("error text = %q", got)
+	}
+	if err := Hit("b.swap"); err != nil {
+		t.Fatalf("b.swap = %v, want nil (sleep)", err)
+	}
+}
+
+func TestParseSpecProbSeed(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ParseSpec("p=error(x):prob(0.5):seed(7)"); err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if Hit("p") != nil {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 50 {
+		t.Fatalf("prob(0.5) fired %d/50 times, want strictly between", fired)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, bad := range []string{
+		"noequals",
+		"p=explode(now)",
+		"p=sleep(fast)",
+		"p=error(x):on(-1)",
+		"p=error(x):prob(2)",
+		"p=error(x:open",
+		"p=error(x):wat(1)",
+	} {
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestEnableReplacesAndDisable(t *testing.T) {
+	off := Enable("p.re", Error("first"), OnHit(100))
+	Enable("p.re", Error("second"))
+	if err := Hit("p.re"); err == nil {
+		t.Fatal("replacement point did not fire")
+	}
+	off()
+	if err := Hit("p.re"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec arms failpoints from a textual spec, the NEGMINE_FAULTS format:
+//
+//	point=action[:trigger]...[;point=action[:trigger]...]...
+//
+// where action is one of
+//
+//	error(msg)   Hit returns an error wrapping ErrInjected
+//	panic(msg)   Hit panics
+//	sleep(dur)   Hit stalls for a time.ParseDuration duration
+//
+// and each trigger is one of on(n), after(n), times(n), prob(p), seed(n).
+// prob defaults to seed 1 unless a seed(n) trigger follows it. Example:
+//
+//	txdb.scan=error(disk read failed):on(3);serve.swap=sleep(50ms)
+//
+// Entries are applied in order; a bad entry returns an error without
+// disarming points armed by earlier entries.
+func ParseSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || rest == "" {
+			return fmt.Errorf("entry %q: want point=action[:trigger]...", entry)
+		}
+		parts, err := splitTop(rest)
+		if err != nil {
+			return fmt.Errorf("entry %q: %w", entry, err)
+		}
+		act, err := parseAction(parts[0])
+		if err != nil {
+			return fmt.Errorf("point %s: %w", name, err)
+		}
+		opts, err := parseTriggers(parts[1:])
+		if err != nil {
+			return fmt.Errorf("point %s: %w", name, err)
+		}
+		Enable(name, act, opts...)
+	}
+	return nil
+}
+
+// splitTop splits on ':' outside parentheses, so error(a:b) stays whole.
+func splitTop(s string) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')' in %q", s)
+			}
+		case ':':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '(' in %q", s)
+	}
+	return append(out, s[start:]), nil
+}
+
+// parseCall splits "word(arg)" into word and arg; a bare "word" has arg "".
+func parseCall(s string) (word, arg string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("malformed %q: want word(arg)", s)
+	}
+	return s[:open], s[open+1 : len(s)-1], nil
+}
+
+func parseAction(s string) (Action, error) {
+	word, arg, err := parseCall(s)
+	if err != nil {
+		return Action{}, err
+	}
+	switch word {
+	case "error":
+		if arg == "" {
+			arg = "injected error"
+		}
+		return Error(arg), nil
+	case "panic":
+		if arg == "" {
+			arg = "injected panic"
+		}
+		return Panic(arg), nil
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Action{}, fmt.Errorf("sleep duration %q: %w", arg, err)
+		}
+		return Sleep(d), nil
+	default:
+		return Action{}, fmt.Errorf("unknown action %q (want error, panic or sleep)", word)
+	}
+}
+
+func parseTriggers(parts []string) ([]Option, error) {
+	var opts []Option
+	var prob float64
+	seed := int64(1)
+	haveProb := false
+	for _, part := range parts {
+		word, arg, err := parseCall(part)
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "on", "after", "times":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%s(%s): want a non-negative integer", word, arg)
+			}
+			switch word {
+			case "on":
+				opts = append(opts, OnHit(n))
+			case "after":
+				opts = append(opts, After(n))
+			case "times":
+				opts = append(opts, Times(n))
+			}
+		case "prob":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("prob(%s): want a probability in [0, 1]", arg)
+			}
+			prob, haveProb = p, true
+		case "seed":
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed(%s): want an integer", arg)
+			}
+			seed = n
+		default:
+			return nil, fmt.Errorf("unknown trigger %q (want on, after, times, prob or seed)", word)
+		}
+	}
+	if haveProb {
+		opts = append(opts, Prob(prob, seed))
+	}
+	return opts, nil
+}

@@ -1,0 +1,135 @@
+package partition
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+
+	"negmine/internal/atomicio"
+	"negmine/internal/item"
+)
+
+// The Partition algorithm is the multi-pass, I/O-bound regime the paper
+// lives in, which makes it the natural unit for crash recovery: every
+// phase-I partition is an independent, memory-sized piece of work, so a
+// killed run only ever loses the partition it was inside. After each
+// completed partition the miner persists a small resume manifest (written
+// atomically — see internal/atomicio); a restarted run with the same
+// options skips every partition the manifest records and reproduces the
+// exact result an uninterrupted run would have produced, because the
+// merged locally-large set is a set union and phase II is deterministic.
+
+// manifestVersion guards the on-disk layout.
+const manifestVersion = 1
+
+// manifest is the checkpoint document. The fingerprint fields (N through
+// TaxSize) bind the manifest to one specific (database, options) pair: a
+// mismatch on load means the input changed and the manifest is ignored.
+type manifest struct {
+	Version    int     `json:"version"`
+	N          int     `json:"n"`
+	Partitions int     `json:"partitions"`
+	MinSupport float64 `json:"minSupport"`
+	MaxK       int     `json:"maxK"`
+	TaxSize    int     `json:"taxSize"`
+	// Done[p] records that partition p's locally large itemsets are fully
+	// merged into Itemsets.
+	Done []bool `json:"done"`
+	// Itemsets is the union of locally large itemsets over all completed
+	// partitions, sorted for deterministic manifest bytes.
+	Itemsets [][]item.Item `json:"itemsets"`
+}
+
+// checkpoint binds a manifest to its path. A nil *checkpoint is a valid
+// "checkpointing off" value; all methods tolerate it.
+type checkpoint struct {
+	path string
+	m    manifest
+}
+
+// newCheckpoint builds the empty manifest for this run's fingerprint.
+func newCheckpoint(path string, n, parts int, opt Options) *checkpoint {
+	taxSize := 0
+	if opt.Taxonomy != nil {
+		taxSize = opt.Taxonomy.Size()
+	}
+	return &checkpoint{path: path, m: manifest{
+		Version:    manifestVersion,
+		N:          n,
+		Partitions: parts,
+		MinSupport: opt.MinSupport,
+		MaxK:       opt.MaxK,
+		TaxSize:    taxSize,
+		Done:       make([]bool, parts),
+	}}
+}
+
+// load merges a previously saved manifest into the run: completed
+// partitions are marked done and their itemsets seeded into global. A
+// missing, corrupt, or fingerprint-mismatched manifest is silently ignored
+// — the run simply starts from scratch, which is always correct.
+func (c *checkpoint) load(global map[item.Key]struct{}) {
+	data, err := os.ReadFile(c.path)
+	if err != nil {
+		return
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return
+	}
+	if m.Version != c.m.Version || m.N != c.m.N || m.Partitions != c.m.Partitions ||
+		m.MinSupport != c.m.MinSupport || m.MaxK != c.m.MaxK ||
+		m.TaxSize != c.m.TaxSize || len(m.Done) != c.m.Partitions {
+		return
+	}
+	c.m.Done = m.Done
+	for _, s := range m.Itemsets {
+		global[item.New(s...).Key()] = struct{}{}
+	}
+}
+
+// done reports whether partition p completed in a previous run.
+func (c *checkpoint) done(p int) bool { return c != nil && c.m.Done[p] }
+
+// allDone reports whether every partition is already mined (phase I can be
+// skipped entirely on resume).
+func (c *checkpoint) allDone() bool {
+	if c == nil {
+		return false
+	}
+	for _, d := range c.m.Done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// complete marks partition p done and atomically persists the manifest with
+// the current merged set. Callers on the parallel path serialize through
+// the merge mutex, so c is never written concurrently.
+func (c *checkpoint) complete(p int, global map[item.Key]struct{}) error {
+	if c == nil {
+		return nil
+	}
+	c.m.Done[p] = true
+	c.m.Itemsets = c.m.Itemsets[:0]
+	for k := range global {
+		c.m.Itemsets = append(c.m.Itemsets, k.Itemset())
+	}
+	sort.Slice(c.m.Itemsets, func(i, j int) bool {
+		return item.Itemset(c.m.Itemsets[i]).Compare(c.m.Itemsets[j]) < 0
+	})
+	return atomicio.WriteFile(c.path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(c.m)
+	})
+}
+
+// remove deletes the manifest after a fully successful run, so a later run
+// over fresh data does not resume from stale state.
+func (c *checkpoint) remove() {
+	if c != nil {
+		os.Remove(c.path)
+	}
+}

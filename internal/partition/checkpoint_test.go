@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"negmine/internal/apriori"
+	"negmine/internal/fault"
+	"negmine/internal/item"
+)
+
+// serialize renders a mining result as deterministic JSON so two runs can
+// be compared byte-for-byte, the way a written report would be.
+func serialize(t *testing.T, res *apriori.Result) []byte {
+	t.Helper()
+	type rec struct {
+		Set   []item.Item `json:"set"`
+		Count int         `json:"count"`
+	}
+	var recs []rec
+	for _, level := range res.Levels {
+		for _, cs := range level {
+			recs = append(recs, rec{Set: cs.Set, Count: cs.Count})
+		}
+	}
+	out, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestKilledRunResumesFromCheckpoint is the acceptance test for crash
+// recovery: a run killed by a failpoint mid-pass must resume from its
+// manifest (not restart from scratch) and produce a byte-identical result.
+func TestKilledRunResumesFromCheckpoint(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		db := randomDB(11, 200, 18, 6)
+		manifest := filepath.Join(t.TempDir(), "resume.json")
+		opt := Options{MinSupport: 0.05, NumPartitions: 5, CheckpointPath: manifest}
+		opt.Count.Parallelism = parallelism
+
+		want, err := Mine(db, Options{MinSupport: 0.05, NumPartitions: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := serialize(t, want)
+
+		// Kill the run on its third partition.
+		off := fault.Enable(PointPhase1, fault.Error("killed"), fault.OnHit(3))
+		_, err = Mine(db, opt)
+		off()
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("parallelism=%d: interrupted Mine = %v, want injected error", parallelism, err)
+		}
+		if _, err := os.Stat(manifest); err != nil {
+			t.Fatalf("parallelism=%d: no manifest after kill: %v", parallelism, err)
+		}
+
+		// Resume with the fault cleared: completed partitions are skipped.
+		got, err := Mine(db, opt)
+		if err != nil {
+			t.Fatalf("parallelism=%d: resumed Mine: %v", parallelism, err)
+		}
+		if gotBytes := serialize(t, got); !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("parallelism=%d: resumed result differs from uninterrupted run:\n got %s\nwant %s",
+				parallelism, gotBytes, wantBytes)
+		}
+		if _, err := os.Stat(manifest); !os.IsNotExist(err) {
+			t.Fatalf("parallelism=%d: manifest not removed after success: %v", parallelism, err)
+		}
+	}
+}
+
+// TestResumeSkipsCompletedPartitions proves the resumed run actually skips
+// work: after a kill on partition 3 of 5, the resumed run's phase-I
+// failpoint sees only the remaining partitions.
+func TestResumeSkipsCompletedPartitions(t *testing.T) {
+	db := randomDB(12, 150, 15, 5)
+	manifest := filepath.Join(t.TempDir(), "resume.json")
+	opt := Options{MinSupport: 0.05, NumPartitions: 5, CheckpointPath: manifest}
+
+	off := fault.Enable(PointPhase1, fault.Error("killed"), fault.OnHit(3))
+	if _, err := Mine(db, opt); err == nil {
+		t.Fatal("interrupted Mine succeeded")
+	}
+	off()
+
+	// Count phase-I entries on resume with a never-firing probe.
+	defer fault.Enable(PointPhase1, fault.Error("probe"), fault.OnHit(1<<30))()
+	if _, err := Mine(db, opt); err != nil {
+		t.Fatalf("resumed Mine: %v", err)
+	}
+	// 2 partitions completed before the kill, so the resume mines 3.
+	if got := fault.Hits(PointPhase1); got != 3 {
+		t.Fatalf("resume mined %d partitions, want 3", got)
+	}
+}
+
+// TestCheckpointIgnoresMismatchedManifest: a manifest written under
+// different options (or data) must be ignored, not resumed from.
+func TestCheckpointIgnoresMismatchedManifest(t *testing.T) {
+	db := randomDB(13, 120, 12, 5)
+	manifest := filepath.Join(t.TempDir(), "resume.json")
+
+	off := fault.Enable(PointPhase1, fault.Error("killed"), fault.OnHit(2))
+	_, err := Mine(db, Options{MinSupport: 0.05, NumPartitions: 4, CheckpointPath: manifest})
+	off()
+	if err == nil {
+		t.Fatal("interrupted Mine succeeded")
+	}
+
+	// Same path, different thresholds: must start from scratch and agree
+	// with a checkpoint-free run.
+	want, err := Mine(db, Options{MinSupport: 0.1, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(db, Options{MinSupport: 0.1, NumPartitions: 4, CheckpointPath: manifest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialize(t, got), serialize(t, want)) {
+		t.Fatal("run with stale-fingerprint manifest differs from clean run")
+	}
+}
+
+// TestCorruptManifestIgnored: garbage at the checkpoint path must not
+// poison the run.
+func TestCorruptManifestIgnored(t *testing.T) {
+	db := randomDB(14, 100, 10, 4)
+	manifest := filepath.Join(t.TempDir(), "resume.json")
+	if err := os.WriteFile(manifest, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 3, CheckpointPath: manifest})
+	if err != nil {
+		t.Fatalf("Mine with corrupt manifest: %v", err)
+	}
+	if !bytes.Equal(serialize(t, got), serialize(t, want)) {
+		t.Fatal("corrupt manifest changed the result")
+	}
+}
+
+// TestPhase2FaultThenResume: a kill between phases leaves all partitions
+// checkpointed; the resumed run skips phase I entirely.
+func TestPhase2FaultThenResume(t *testing.T) {
+	db := randomDB(15, 150, 15, 5)
+	manifest := filepath.Join(t.TempDir(), "resume.json")
+	opt := Options{MinSupport: 0.05, NumPartitions: 4, CheckpointPath: manifest}
+
+	want, err := Mine(db, Options{MinSupport: 0.05, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	off := fault.Enable(PointPhase2, fault.Error("killed before phase II"))
+	if _, err := Mine(db, opt); err == nil {
+		t.Fatal("interrupted Mine succeeded")
+	}
+	off()
+
+	// Probe phase I on resume: it must never be entered.
+	defer fault.Enable(PointPhase1, fault.Panic("phase I re-entered on resume"))()
+	got, err := Mine(db, opt)
+	if err != nil {
+		t.Fatalf("resumed Mine: %v", err)
+	}
+	if !bytes.Equal(serialize(t, got), serialize(t, want)) {
+		t.Fatal("phase-II resume differs from uninterrupted run")
+	}
+}

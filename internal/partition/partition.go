@@ -27,9 +27,19 @@ import (
 
 	"negmine/internal/apriori"
 	"negmine/internal/count"
+	"negmine/internal/fault"
 	"negmine/internal/item"
 	"negmine/internal/taxonomy"
 	"negmine/internal/txdb"
+)
+
+// Failpoints (see internal/fault): PointPhase1 is evaluated before each
+// partition is mined locally, PointPhase2 before the exact counting pass.
+// Arming either with an error models a run killed mid-pass; with
+// Options.CheckpointPath set, the next run resumes from the manifest.
+const (
+	PointPhase1 = "partition.phase1"
+	PointPhase2 = "partition.phase2"
 )
 
 // Options configures a Partition run.
@@ -44,6 +54,12 @@ type Options struct {
 	// Taxonomy, when non-nil, switches on generalized mining: transactions
 	// are extended with ancestors and item+ancestor itemsets are pruned.
 	Taxonomy *taxonomy.Taxonomy
+	// CheckpointPath, when non-empty, makes the run crash-resumable: after
+	// each completed phase-I partition a resume manifest is atomically
+	// persisted there, a fresh run whose options match resumes from the
+	// last completed partition, and the manifest is removed when Mine
+	// succeeds. The result is identical to an uninterrupted run.
+	CheckpointPath string
 	// Count holds phase-II counting options. Count.Transform must be nil.
 	Count count.Options
 }
@@ -125,21 +141,40 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 	// and released. Partitions are mutually independent, so with
 	// Count.Parallelism > 1 and a range-scannable database they are mined
 	// concurrently (the parallelization the original paper points out).
+	// With a checkpoint armed, partitions completed by a previous killed
+	// run are loaded from the manifest and skipped.
 	global := make(map[item.Key]struct{})
 	partSize := (n + parts - 1) / parts
-	if ranger, ok := db.(rangeScanner); ok && opt.Count.Parallelism > 1 {
-		if err := phaseOneParallel(ranger, n, parts, partSize, opt, transform, global); err != nil {
+	var ckpt *checkpoint
+	if opt.CheckpointPath != "" {
+		ckpt = newCheckpoint(opt.CheckpointPath, n, parts, opt)
+		ckpt.load(global)
+	}
+	switch ranger, ok := db.(rangeScanner); {
+	case ckpt.allDone():
+		// Every partition was mined before the previous run died; the
+		// merged set is already seeded from the manifest.
+	case ok && opt.Count.Parallelism > 1:
+		if err := phaseOneParallel(ranger, n, parts, partSize, opt, transform, global, ckpt); err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		buf := make([]item.Itemset, 0, partSize)
+		p := 0
 		flush := func() error {
 			if len(buf) == 0 {
 				return nil
 			}
+			skip := ckpt.done(p)
+			defer func() { buf = buf[:0]; p++ }()
+			if skip {
+				return nil
+			}
+			if err := fault.Hit(PointPhase1); err != nil {
+				return fmt.Errorf("partition %d: %w", p, err)
+			}
 			locallyLarge(buf, opt, global)
-			buf = buf[:0]
-			return nil
+			return ckpt.complete(p, global)
 		}
 		err := db.Scan(func(tx txdb.Transaction) error {
 			s := tx.Items
@@ -180,6 +215,9 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 	}
 
 	// Phase II: one pass exact counting of all candidates.
+	if err := fault.Hit(PointPhase2); err != nil {
+		return nil, err
+	}
 	cnt := opt.Count
 	if opt.Taxonomy != nil {
 		cnt.TransformInto = opt.Taxonomy.ExtendInto
@@ -204,6 +242,7 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 			res.Table.Put(cs.Set, cs.Count)
 		}
 	}
+	ckpt.remove()
 	return res, nil
 }
 
@@ -216,10 +255,17 @@ type rangeScanner interface {
 
 // phaseOneParallel mines the partitions concurrently, each worker loading
 // its contiguous range and merging locally large itemsets under a mutex.
-func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, transform func(item.Itemset) item.Itemset, global map[item.Key]struct{}) error {
+// Partitions the checkpoint records as done are skipped entirely (the done
+// set is snapshotted before the workers start; within one run no partition
+// is dispatched twice, so the snapshot cannot go stale).
+func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, transform func(item.Itemset) item.Itemset, global map[item.Key]struct{}, ckpt *checkpoint) error {
 	workers := opt.Count.Parallelism
 	if workers > parts {
 		workers = parts
+	}
+	doneAtStart := make([]bool, parts)
+	for p := range doneAtStart {
+		doneAtStart[p] = ckpt.done(p)
 	}
 	var (
 		mu   sync.Mutex
@@ -235,6 +281,13 @@ func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, tran
 				p := int(next.Add(1)) - 1
 				lo := p * partSize
 				if lo >= n {
+					return
+				}
+				if doneAtStart[p] {
+					continue
+				}
+				if err := fault.Hit(PointPhase1); err != nil {
+					errs[w] = fmt.Errorf("partition %d: %w", p, err)
 					return
 				}
 				hi := lo + partSize
@@ -262,7 +315,12 @@ func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, tran
 				for k := range local {
 					global[k] = struct{}{}
 				}
+				err = ckpt.complete(p, global)
 				mu.Unlock()
+				if err != nil {
+					errs[w] = err
+					return
+				}
 			}
 		}(w)
 	}

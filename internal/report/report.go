@@ -16,9 +16,15 @@ import (
 	"strings"
 
 	"negmine/internal/apriori"
+	"negmine/internal/fault"
 	"negmine/internal/item"
 	"negmine/internal/negative"
 )
+
+// PointRead is the failpoint evaluated at the top of ReadNegativeJSON;
+// arming it models a report file that cannot be read back (torn disk,
+// permission flap) without having to corrupt a real file.
+const PointRead = "report.read"
 
 // NegativeRuleRecord is the exported form of one negative rule.
 type NegativeRuleRecord struct {
@@ -163,14 +169,52 @@ func WritePositiveCSV(w io.Writer, rules []apriori.Rule, name func(item.Item) st
 }
 
 // ReadNegativeJSON parses a report previously written by WriteNegativeJSON
-// (round-trip support for rule stores).
+// (round-trip support for rule stores). Spurious rules mined from partial
+// or corrupt data are indistinguishable from real ones downstream, so the
+// reader fails loudly: truncated documents, trailing garbage, and
+// structurally invalid records are all errors rather than best-effort
+// partial loads.
 func ReadNegativeJSON(r io.Reader) (*NegativeReport, error) {
+	if err := fault.Hit(PointRead); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
 	var rep NegativeReport
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("report: decoding: %w", err)
 	}
+	if dec.More() {
+		return nil, fmt.Errorf("report: trailing data after document")
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
 	return &rep, nil
+}
+
+// Validate checks the structural invariants every well-formed report has:
+// no rule with an empty side, no empty negative itemset, and supports and
+// rule-interest values inside sane ranges. It is what keeps a daemon from
+// hot-loading a syntactically valid but semantically garbage report.
+func (r *NegativeReport) Validate() error {
+	for i, rule := range r.Rules {
+		if len(rule.Antecedent) == 0 || len(rule.Consequent) == 0 {
+			return fmt.Errorf("report: rule %d: empty antecedent or consequent", i)
+		}
+		if rule.ExpectedSupport < 0 || rule.ExpectedSupport > 1 ||
+			rule.ActualSupport < 0 || rule.ActualSupport > 1 {
+			return fmt.Errorf("report: rule %d: support out of [0, 1]", i)
+		}
+	}
+	for i, n := range r.Itemsets {
+		if len(n.Items) == 0 {
+			return fmt.Errorf("report: negative itemset %d: no items", i)
+		}
+		if n.ActualCount < 0 {
+			return fmt.Errorf("report: negative itemset %d: negative count", i)
+		}
+	}
+	return nil
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 10, 64) }

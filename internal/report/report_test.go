@@ -108,8 +108,32 @@ func TestPositiveWriters(t *testing.T) {
 }
 
 func TestReadNegativeJSONErrors(t *testing.T) {
-	if _, err := ReadNegativeJSON(strings.NewReader("{not json")); err == nil {
-		t.Error("malformed JSON accepted")
+	// Corrupt inputs a daemon might hot-load after a torn write or an
+	// operator mistake: every one must be rejected, never best-effort
+	// loaded (spurious rules are indistinguishable downstream).
+	cases := map[string]string{
+		"malformed":        `{not json`,
+		"truncated":        `{"minSupport": 0.1, "rules": [{"antecedent": ["a"]`,
+		"garbage":          `PK\x03\x04 this is a zip file`,
+		"trailing data":    `{"minSupport": 0.1} {"another": "doc"}`,
+		"empty antecedent": `{"rules": [{"antecedent": [], "consequent": ["x"]}]}`,
+		"empty consequent": `{"rules": [{"antecedent": ["x"], "consequent": []}]}`,
+		"support above 1":  `{"rules": [{"antecedent": ["a"], "consequent": ["b"], "actualSupport": 2.5}]}`,
+		"negative support": `{"rules": [{"antecedent": ["a"], "consequent": ["b"], "expectedSupport": -0.1}]}`,
+		"empty itemset":    `{"negativeItemsets": [{"items": []}]}`,
+		"negative count":   `{"negativeItemsets": [{"items": ["a"], "actualCount": -3}]}`,
+		"wrong value type": `{"rules": "not an array"}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadNegativeJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted: %s", name, in)
+		}
+	}
+	// Structural errors identify the offending record.
+	_, err := ReadNegativeJSON(strings.NewReader(
+		`{"rules": [{"antecedent": ["a"], "consequent": ["b"]}, {"antecedent": [], "consequent": ["x"]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "rule 1") {
+		t.Errorf("invalid record not located: %v", err)
 	}
 }
 

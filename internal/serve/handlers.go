@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"negmine/internal/fault"
 	"negmine/internal/rulestore"
 )
 
@@ -95,23 +96,54 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter captures the response status for metrics.
+// statusWriter captures the response status for metrics and whether
+// anything was written yet (so the recovery middleware knows whether a 500
+// can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps every handler with the serving-lifecycle armor: metrics,
+// the optional per-request deadline, the serve.handler failpoint, and panic
+// recovery. A panicking handler produces a 500 (when nothing was written
+// yet), bumps the panics counter, and never takes the process down.
 func (s *Server) instrument(ep int, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.recordPanic()
+				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			s.metrics.observe(ep, time.Since(start), sw.status)
+		}()
+		if err := fault.Hit(PointHandler); err != nil {
+			writeError(sw, http.StatusInternalServerError, "%v", err)
+			return
+		}
 		next.ServeHTTP(sw, r)
-		s.metrics.observe(ep, time.Since(start), sw.status)
 	})
 }
 
@@ -156,7 +188,11 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	snap := s.Snapshot()
-	entries := snap.QueryItem(item, minRI, limit)
+	entries, err := snap.QueryItemCtx(r.Context(), item, minRI, limit)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		return
+	}
 	resp := rulesResponse{
 		Item:     item,
 		Expanded: snap.Expand(item),
@@ -190,7 +226,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		minRI = *req.MinRI
 	}
 	snap := s.Snapshot()
-	matches := snap.Score(req.Basket, minRI, req.Limit)
+	matches, err := snap.ScoreCtx(r.Context(), req.Basket, minRI, req.Limit)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "scoring aborted: %v", err)
+		return
+	}
 	resp := scoreResponse{
 		Basket:  req.Basket,
 		MinRI:   minRI,

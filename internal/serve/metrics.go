@@ -125,13 +125,21 @@ type Metrics struct {
 	reloadFail    atomic.Int64
 	lastReloadNs  atomic.Int64 // unix nanos of the last successful swap
 	lastReloadErr atomic.Value // string; "" when the last reload succeeded
-	start         time.Time
+
+	panics atomic.Int64 // handler panics caught by the recovery middleware
+
+	watchState      atomic.Value // string; "" until a watcher starts
+	watchFails      atomic.Int64 // consecutive reload failures seen by the watcher
+	watchIntervalNs atomic.Int64 // current poll interval
+
+	start time.Time
 }
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
 	m := &Metrics{start: time.Now()}
 	m.lastReloadErr.Store("")
+	m.watchState.Store("")
 	return m
 }
 
@@ -157,6 +165,30 @@ func (m *Metrics) recordReload(err error) {
 	m.lastReloadNs.Store(time.Now().UnixNano())
 }
 
+// recordPanic counts a handler panic caught by the recovery middleware.
+func (m *Metrics) recordPanic() { m.panics.Add(1) }
+
+// Panics returns how many handler panics have been recovered.
+func (m *Metrics) Panics() int64 { return m.panics.Load() }
+
+// setWatch publishes the watcher's state machine (state name, consecutive
+// failures, current poll interval) for /metrics.
+func (m *Metrics) setWatch(state string, fails int, interval time.Duration) {
+	m.watchState.Store(state)
+	m.watchFails.Store(int64(fails))
+	m.watchIntervalNs.Store(int64(interval))
+}
+
+// WatchState returns the watcher's current state ("" if no watcher runs).
+func (m *Metrics) WatchState() string { return m.watchState.Load().(string) }
+
+// watchJSON is the watcher state block of the /metrics document.
+type watchJSON struct {
+	State           string  `json:"state"`
+	ConsecFailures  int64   `json:"consecutiveFailures"`
+	IntervalSeconds float64 `json:"intervalSeconds"`
+}
+
 // endpointJSON is one endpoint's exported block.
 type endpointJSON struct {
 	Requests int64         `json:"requests"`
@@ -167,6 +199,7 @@ type endpointJSON struct {
 // metricsJSON is the full /metrics document.
 type metricsJSON struct {
 	UptimeSeconds float64                 `json:"uptimeSeconds"`
+	Panics        int64                   `json:"panics"`
 	Endpoints     map[string]endpointJSON `json:"endpoints"`
 	Reloads       struct {
 		OK        int64   `json:"ok"`
@@ -174,6 +207,7 @@ type metricsJSON struct {
 		LastError string  `json:"lastError,omitempty"`
 		LastOKAgo float64 `json:"lastOkAgeSeconds,omitempty"`
 	} `json:"reloads"`
+	Watch    *watchJSON `json:"watch,omitempty"`
 	Snapshot struct {
 		SnapshotInfo
 		AgeSeconds float64 `json:"ageSeconds"`
@@ -196,9 +230,17 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 			Latency:  m.latency[ep].export(true),
 		}
 	}
+	doc.Panics = m.panics.Load()
 	doc.Reloads.OK = m.reloadOK.Load()
 	doc.Reloads.Failed = m.reloadFail.Load()
 	doc.Reloads.LastError = m.lastReloadErr.Load().(string)
+	if state := m.WatchState(); state != "" {
+		doc.Watch = &watchJSON{
+			State:           state,
+			ConsecFailures:  m.watchFails.Load(),
+			IntervalSeconds: time.Duration(m.watchIntervalNs.Load()).Seconds(),
+		}
+	}
 	if ns := m.lastReloadNs.Load(); ns > 0 {
 		doc.Reloads.LastOKAgo = time.Since(time.Unix(0, ns)).Seconds()
 	}

@@ -8,6 +8,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"negmine/internal/fault"
+)
+
+// Failpoints in the serving lifecycle (see internal/fault). All are no-ops
+// unless armed by a test or NEGMINE_FAULTS.
+const (
+	// PointReload fires at the top of every snapshot load (initial and
+	// reload); an error action models a re-mine or report read that fails.
+	PointReload = "serve.reload"
+	// PointSwap fires after a successful load, just before the pointer
+	// swap; a sleep action widens the build→swap window for chaos tests,
+	// an error action models a build that dies at the last moment.
+	PointSwap = "serve.swap"
+	// PointHandler fires at the top of every instrumented HTTP handler; a
+	// panic action exercises the recovery middleware, a sleep action makes
+	// an in-flight request slow for drain tests.
+	PointHandler = "serve.handler"
 )
 
 // LoadFunc produces a fresh Snapshot — by re-reading a report file, or by
@@ -22,10 +40,11 @@ type LoadFunc func(ctx context.Context) (*Snapshot, error)
 // store. A failed reload publishes nothing: the old snapshot keeps serving
 // and the error is surfaced through Metrics and the log.
 type Server struct {
-	load    LoadFunc
-	snap    atomic.Pointer[Snapshot]
-	metrics *Metrics
-	logf    func(format string, args ...any)
+	load       LoadFunc
+	snap       atomic.Pointer[Snapshot]
+	metrics    *Metrics
+	logf       func(format string, args ...any)
+	reqTimeout time.Duration // per-request deadline (0 = none)
 
 	reloadMu  sync.Mutex  // serializes loads; readers never touch it
 	reloading atomic.Bool // a reload is in flight (coalesces triggers)
@@ -44,6 +63,13 @@ func WithMetrics(m *Metrics) Option {
 	return func(s *Server) { s.metrics = m }
 }
 
+// WithRequestTimeout bounds every HTTP request: handlers get a context that
+// expires after d, and snapshot queries abort with 503 when it does. Zero
+// (the default) means no per-request deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // NewServer builds a server and performs the initial load synchronously —
 // the daemon refuses to start without a serveable snapshot.
 func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, error) {
@@ -58,12 +84,32 @@ func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, err
 		logger := log.New(os.Stderr, "negmined: ", log.LstdFlags)
 		s.logf = logger.Printf
 	}
-	snap, err := load(ctx)
+	snap, err := s.loadChecked(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial load: %w", err)
 	}
 	s.snap.Store(snap)
 	return s, nil
+}
+
+// loadChecked runs the LoadFunc defensively: the serve.reload failpoint can
+// veto it, a panicking loader is converted into an error instead of killing
+// the daemon, and a nil snapshot (a loader bug) is rejected — the swap path
+// must never publish one.
+func (s *Server) loadChecked(ctx context.Context) (snap *Snapshot, err error) {
+	if err := fault.Hit(PointReload); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			snap, err = nil, fmt.Errorf("serve: load panicked: %v", r)
+		}
+	}()
+	snap, err = s.load(ctx)
+	if err == nil && snap == nil {
+		return nil, fmt.Errorf("serve: load returned nil snapshot without error")
+	}
+	return snap, err
 }
 
 // Snapshot returns the current snapshot. The result is immutable and stays
@@ -85,7 +131,13 @@ func (s *Server) Reload(ctx context.Context) error {
 	defer s.reloading.Store(false)
 
 	start := time.Now()
-	snap, err := s.load(ctx)
+	snap, err := s.loadChecked(ctx)
+	if err == nil {
+		// serve.swap sits between "snapshot fully built" and "snapshot
+		// visible": a sleep here stretches the window chaos tests probe
+		// for torn state, an error models dying with the swap un-done.
+		err = fault.Hit(PointSwap)
+	}
 	s.metrics.recordReload(err)
 	if err != nil {
 		s.logf("reload failed after %v (keeping snapshot of %d rules): %v",
@@ -109,33 +161,10 @@ func (s *Server) TriggerReload(ctx context.Context) bool {
 	return true
 }
 
-// Watch polls path's mtime every interval and reloads when it changes —
-// the "drop a fresh report/data file in place" workflow. It blocks until
-// ctx is cancelled, so callers run it in a goroutine.
+// Watch polls path for changes and reloads when it settles — the "drop a
+// fresh report/data file in place" workflow. It blocks until ctx is
+// cancelled, so callers run it in a goroutine. See WatchWith for the full
+// behavior (debounce, backoff, circuit breaker); Watch uses the defaults.
 func (s *Server) Watch(ctx context.Context, path string, interval time.Duration) {
-	if interval <= 0 {
-		interval = 2 * time.Second
-	}
-	var last time.Time
-	if fi, err := os.Stat(path); err == nil {
-		last = fi.ModTime()
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-t.C:
-			fi, err := os.Stat(path)
-			if err != nil {
-				continue // transient (file being replaced); retry next tick
-			}
-			if mt := fi.ModTime(); mt.After(last) {
-				last = mt
-				s.logf("watch: %s changed, reloading", path)
-				_ = s.Reload(ctx)
-			}
-		}
-	}
+	s.WatchWith(ctx, path, WatchConfig{Interval: interval})
 }

@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -152,14 +153,37 @@ func (s *Snapshot) Expand(name string) []string {
 	return out
 }
 
+// ctxCheckEvery is how many posting-list entries a query walks between
+// deadline polls: often enough that a cancelled request stops promptly,
+// rarely enough that the check is free on small snapshots.
+const ctxCheckEvery = 1024
+
 // QueryItem returns the rules mentioning name — or any taxonomy ancestor of
 // name — on either side, with RI ≥ minRI, ordered by descending RI (ties
 // broken by signature order for determinism). limit ≤ 0 means unlimited.
 func (s *Snapshot) QueryItem(name string, minRI float64, limit int) []rulestore.Entry {
+	out, _ := s.QueryItemCtx(context.Background(), name, minRI, limit)
+	return out
+}
+
+// QueryItemCtx is QueryItem honoring a request deadline: a query over a huge
+// snapshot checks ctx periodically and aborts with ctx.Err() instead of
+// holding a handler goroutine past its budget.
+func (s *Snapshot) QueryItemCtx(ctx context.Context, name string, minRI float64, limit int) ([]rulestore.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	hit := map[int]struct{}{}
 	idx := make([]int, 0, 16)
+	walked := 0
 	for _, n := range s.Expand(name) {
 		for _, lists := range [2]map[string][]int{s.byAnte, s.byCons} {
+			if walked += len(lists[n]); walked >= ctxCheckEvery {
+				walked = 0
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			for _, i := range lists[n] {
 				// Posting lists are ascending and rules RI-descending, so
 				// everything after the first miss also misses.
@@ -182,7 +206,7 @@ func (s *Snapshot) QueryItem(name string, minRI float64, limit int) []rulestore.
 	for i, j := range idx {
 		out[i] = s.rules[j]
 	}
-	return out
+	return out, nil
 }
 
 // Match is one rule triggered by a basket: the customer's basket covers the
@@ -202,6 +226,15 @@ type Match struct {
 // and whose RI meets the per-request threshold. Results are ordered by
 // descending RI, ties by signature order. limit ≤ 0 means unlimited.
 func (s *Snapshot) Score(basket []string, minRI float64, limit int) []Match {
+	out, _ := s.ScoreCtx(context.Background(), basket, minRI, limit)
+	return out
+}
+
+// ScoreCtx is Score honoring a request deadline, like QueryItemCtx.
+func (s *Snapshot) ScoreCtx(ctx context.Context, basket []string, minRI float64, limit int) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// satisfies maps every name the basket supports to the concrete basket
 	// item that produced it.
 	satisfies := map[string]string{}
@@ -215,7 +248,14 @@ func (s *Snapshot) Score(basket []string, minRI float64, limit int) []Match {
 	// Candidate rules: any rule whose antecedent mentions a supported name.
 	cand := map[int]struct{}{}
 	idx := make([]int, 0, 16)
+	walked := 0
 	for n := range satisfies {
+		if walked += len(s.byAnte[n]); walked >= ctxCheckEvery {
+			walked = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, i := range s.byAnte[n] {
 			if s.rules[i].RI < minRI {
 				break // RI-descending posting list: the rest miss too
@@ -249,5 +289,5 @@ func (s *Snapshot) Score(basket []string, minRI float64, limit int) []Match {
 		}
 		out[i] = Match{Rule: s.rules[j], Triggers: trig}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,53 @@
+// External test package so the fuzz target can seed its corpus from
+// internal/datagen (which imports taxonomy).
+package taxonomy_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"negmine/internal/datagen"
+	"negmine/internal/taxonomy"
+)
+
+// FuzzParse feeds arbitrary text to the taxonomy parser. It must never
+// panic; any taxonomy it accepts must survive a Write → Parse round trip
+// with the same shape (size, leaf count, height).
+func FuzzParse(f *testing.F) {
+	tax, _, err := datagen.Generate(datagen.Short())
+	if err != nil {
+		f.Fatalf("datagen: %v", err)
+	}
+	var seed bytes.Buffer
+	if err := tax.Write(&seed); err != nil {
+		f.Fatalf("serializing seed: %v", err)
+	}
+	f.Add(seed.String())
+	f.Add("beverages pepsi\nbeverages coke\n")
+	f.Add("# comment\nloner\n")
+	f.Add("a b\nb a\n") // cycle
+	f.Add("a b\nc b\n") // two parents
+	f.Add("a b c\n")    // too many fields
+	f.Add("x " + strings.Repeat("y", 70000) + "\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tax, err := taxonomy.Parse(strings.NewReader(s))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		var out bytes.Buffer
+		if err := tax.Write(&out); err != nil {
+			t.Fatalf("Write of accepted taxonomy: %v", err)
+		}
+		tax2, err := taxonomy.Parse(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected:\ninput %q\nwritten %q\nerr %v", s, out.String(), err)
+		}
+		if tax2.Size() != tax.Size() || tax2.Leaves().Len() != tax.Leaves().Len() || tax2.Height() != tax.Height() {
+			t.Fatalf("round trip changed shape: %d/%d/%d → %d/%d/%d",
+				tax.Size(), tax.Leaves().Len(), tax.Height(),
+				tax2.Size(), tax2.Leaves().Len(), tax2.Height())
+		}
+	})
+}

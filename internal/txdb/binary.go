@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"negmine/internal/fault"
 	"negmine/internal/item"
 )
 
@@ -186,9 +187,15 @@ func (f *FileDB) ScanShard(shard, of int, fn func(Transaction) error) error {
 	if _, err := readHeader(r); err != nil {
 		return err
 	}
+	faulty := fault.Active()
 	var items item.Itemset
 	tid := int64(0)
 	for i := 0; i < f.count; i++ {
+		if faulty {
+			if err := fault.Hit(PointScan); err != nil {
+				return fmt.Errorf("txdb: %s: record %d: %w", f.path, i, err)
+			}
+		}
 		d, err := binary.ReadUvarint(r)
 		if err != nil {
 			return fmt.Errorf("txdb: record %d: tid: %w", i, err)

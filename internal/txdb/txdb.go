@@ -13,8 +13,15 @@ import (
 	"errors"
 	"fmt"
 
+	"negmine/internal/fault"
 	"negmine/internal/item"
 )
+
+// PointScan is the failpoint evaluated once per transaction by every scan
+// loop in the package (memory- and disk-resident). Arming it with an error
+// models a torn mid-scan read; with sleep, a stalling device. The check is
+// hoisted behind fault.Active so production scans stay branch-free.
+const PointScan = "txdb.scan"
 
 // Transaction is one customer basket: a unique TID and a sorted set of
 // (leaf) items.
@@ -74,7 +81,13 @@ func (m *MemDB) Count() int { return len(m.txs) }
 
 // Scan visits every transaction in insertion order.
 func (m *MemDB) Scan(fn func(Transaction) error) error {
+	faulty := fault.Active()
 	for _, tx := range m.txs {
+		if faulty {
+			if err := fault.Hit(PointScan); err != nil {
+				return fmt.Errorf("txdb: scan at tid %d: %w", tx.TID, err)
+			}
+		}
 		if err := fn(tx); err != nil {
 			return err
 		}
@@ -87,7 +100,13 @@ func (m *MemDB) ScanShard(shard, of int, fn func(Transaction) error) error {
 	if of <= 0 || shard < 0 || shard >= of {
 		return fmt.Errorf("txdb: bad shard %d/%d", shard, of)
 	}
+	faulty := fault.Active()
 	for i := shard; i < len(m.txs); i += of {
+		if faulty {
+			if err := fault.Hit(PointScan); err != nil {
+				return fmt.Errorf("txdb: shard %d/%d scan at tid %d: %w", shard, of, m.txs[i].TID, err)
+			}
+		}
 		if err := fn(m.txs[i]); err != nil {
 			return err
 		}
@@ -101,7 +120,13 @@ func (m *MemDB) ScanRange(lo, hi int, fn func(Transaction) error) error {
 	if lo < 0 || hi > len(m.txs) || lo > hi {
 		return fmt.Errorf("txdb: bad range [%d,%d) of %d", lo, hi, len(m.txs))
 	}
+	faulty := fault.Active()
 	for _, tx := range m.txs[lo:hi] {
+		if faulty {
+			if err := fault.Hit(PointScan); err != nil {
+				return fmt.Errorf("txdb: range scan at tid %d: %w", tx.TID, err)
+			}
+		}
 		if err := fn(tx); err != nil {
 			return err
 		}
