@@ -10,6 +10,9 @@
 //	                                # counting-backend ablation (hashtree vs bitmap)
 //	experiments -servebench -serveout BENCH_serving.json
 //	                                # serving layer: snapshot build + query latency
+//	experiments -overloadbench -serveout BENCH_serving.json
+//	                                # admission control: shed rate and admitted
+//	                                # latency at 1x/2x/4x the -max-rps budget
 //
 // -scale divides the transaction count (50,000 at scale 1) while keeping
 // the paper's 8,000-item universe, so relative supports — and hence every
@@ -59,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		sbench    = fs.Bool("servebench", false, "measure serving-snapshot build time and lookup throughput/latency on Short and Tall")
 		sbenchOut = fs.String("serveout", "", "also write the -servebench results as JSON to this file (e.g. BENCH_serving.json)")
 		lookups   = fs.Int("lookups", 20000, "timed queries per -servebench run")
+		obench    = fs.Bool("overloadbench", false, "drive the governed daemon at 1x/2x/4x its -max-rps and record shed rate + admitted latency")
+		maxRPS    = fs.Float64("maxrps", 200, "token-bucket rate the -overloadbench governor enforces (the daemon's -max-rps)")
+		overSec   = fs.Duration("overloadsec", 2*time.Second, "measurement window per -overloadbench load level")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,9 +90,9 @@ func run(args []string, out io.Writer) error {
 		figs["5"], figs["6"], figs["7"] = true, true, true
 		tables["1"], tables["2"] = true, true
 	}
-	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench {
+	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench or -all")
+		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench or -all")
 	}
 
 	sups, err := parseFloats(*minsups)
@@ -240,13 +246,14 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 	}
+	var srows []*bench.ServingBench
+	var orows []*bench.OverloadBench
 	if *sbench {
 		fmt.Fprintln(out, "=== Serving layer — snapshot build time and query latency ===")
 		pct := 2.0
 		if len(sups) > 0 {
 			pct = sups[0]
 		}
-		var rows []*bench.ServingBench
 		for _, name := range []string{"Short", "Tall"} {
 			ds, err := need(name)
 			if err != nil {
@@ -256,24 +263,42 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			rows = append(rows, row)
+			srows = append(srows, row)
 		}
-		bench.PrintServing(out, rows)
-		if *sbenchOut != "" {
-			f, err := os.Create(*sbenchOut)
-			if err != nil {
-				return err
-			}
-			if err := bench.WriteServingJSON(f, *scale, rows); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "wrote %s\n", *sbenchOut)
-		}
+		bench.PrintServing(out, srows)
 		fmt.Fprintln(out)
+	}
+	if *obench {
+		fmt.Fprintln(out, "=== Overload — shed rate and admitted latency at 1x/2x/4x -max-rps ===")
+		pct := 2.0
+		if len(sups) > 0 {
+			pct = sups[0]
+		}
+		ds, err := need("Short")
+		if err != nil {
+			return err
+		}
+		row, err := bench.RunOverloadBench(ds, pct, *minRI, gen.Cumulate, *maxK, *parallel, *maxRPS, *overSec)
+		if err != nil {
+			return err
+		}
+		orows = append(orows, row)
+		bench.PrintOverload(out, orows)
+		fmt.Fprintln(out)
+	}
+	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0) {
+		f, err := os.Create(*sbenchOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteServingJSON(f, *scale, srows, orows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *sbenchOut)
 	}
 	return nil
 }

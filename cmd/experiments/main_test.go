@@ -87,6 +87,60 @@ func TestServeBench(t *testing.T) {
 	}
 }
 
+func TestOverloadBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload benchmark in -short mode")
+	}
+	var out bytes.Buffer
+	outPath := t.TempDir() + "/BENCH_serving.json"
+	err := run([]string{"-overloadbench", "-scale", "100", "-minsups", "2", "-maxk", "3",
+		"-maxrps", "400", "-overloadsec", "150ms", "-serveout", outPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Overload", "1x", "4x", "shed", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Overload []struct {
+			MaxRPS float64 `json:"max_rps"`
+			Levels []struct {
+				Multiplier float64 `json:"multiplier"`
+				Requests   int     `json:"requests"`
+				ShedRate   float64 `json:"shed_rate"`
+				P99        float64 `json:"admitted_p99_us"`
+			} `json:"levels"`
+		} `json:"overload"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad BENCH_serving.json: %v", err)
+	}
+	if len(doc.Overload) != 1 || len(doc.Overload[0].Levels) != 3 {
+		t.Fatalf("overload section = %+v", doc.Overload)
+	}
+	levels := doc.Overload[0].Levels
+	if levels[0].Multiplier != 1 || levels[1].Multiplier != 2 || levels[2].Multiplier != 4 {
+		t.Fatalf("multipliers = %+v", levels)
+	}
+	for _, l := range levels {
+		if l.Requests == 0 {
+			t.Errorf("level %gx issued no requests", l.Multiplier)
+		}
+	}
+	// Offering 4x the token-bucket rate must shed more than offering 1x.
+	if levels[2].ShedRate <= levels[0].ShedRate {
+		t.Errorf("shed rate not rising with load: 1x=%.3f 4x=%.3f",
+			levels[0].ShedRate, levels[2].ShedRate)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

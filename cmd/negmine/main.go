@@ -63,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		negatives = fs.Bool("negatives", false, "print negative itemsets too")
 		parallel  = fs.Int("parallel", 1, "counting workers")
 		backend   = fs.String("backend", "auto", "counting backend: auto, hashtree or bitmap")
+		memBudget = fs.String("mem-budget", "auto", "mining memory budget, e.g. 2GiB (auto = 80% of GOMEMLIMIT/cgroup limit, off = unlimited)")
 		maxK      = fs.Int("maxk", 0, "cap large-itemset size (0 = unlimited)")
 		format    = fs.String("format", "text", "output format: text, json or csv (json is the report negmined -report serves and -diff reads)")
 		subsPath  = fs.String("subs", "", "substitute-group file: one group of item names per line")
@@ -135,6 +136,23 @@ func run(args []string, out io.Writer) error {
 	}
 	opt.Count.Backend = countBackend
 	opt.Gen.Count.Backend = countBackend
+	switch strings.ToLower(*memBudget) {
+	case "auto":
+		mem := negmine.DefaultMemBudget()
+		opt.Count.Mem = mem
+		opt.Gen.Count.Mem = mem
+	case "off", "none", "0":
+	default:
+		n, err := negmine.ParseByteSize(*memBudget)
+		if err != nil {
+			return fmt.Errorf("-mem-budget: %w", err)
+		}
+		if n > 0 {
+			mem := negmine.NewMemBudget(n)
+			opt.Count.Mem = mem
+			opt.Gen.Count.Mem = mem
+		}
+	}
 	switch strings.ToLower(*filter) {
 	case "deviation":
 	case "absolute":

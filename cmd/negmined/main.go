@@ -38,10 +38,17 @@
 //	-read-timeout/-write-timeout/-idle-timeout  http.Server limits
 //	-request-timeout  per-request handler deadline (0 = none)
 //	-drain d          graceful-shutdown drain budget (default 10s)
+//	-max-concurrent n adaptive concurrency ceiling; enables admission control
+//	-max-queue n      bounded admission queue (requires -max-concurrent)
+//	-max-rps f        per-endpoint token-bucket rate limit
+//	-max-body size    POST body bound (default 1MiB; "off" disables)
+//	-mem-budget size  re-mining memory budget (default auto: 80% of the
+//	                  GOMEMLIMIT/cgroup limit; "off" disables)
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to -drain to finish, and the process exits 0. A
-// second signal aborts the drain.
+// second signal aborts the drain. Invalid flag combinations exit 2 with
+// usage; runtime failures exit 1.
 package main
 
 import (
@@ -59,14 +66,38 @@ import (
 	"time"
 
 	"negmine"
+	"negmine/internal/govern"
 	"negmine/internal/serve"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	default:
 		fmt.Fprintln(os.Stderr, "negmined:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2) // conventional usage-error status
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks a flag-validation failure: the flags were parseable but
+// their combination is invalid. main exits 2 for these (usage printed)
+// instead of the generic 1.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// usageErrf prints the flag set's usage and returns a usageError.
+func usageErrf(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return &usageError{fmt.Errorf(format, args...)}
 }
 
 // config is everything run needs after flag parsing.
@@ -82,6 +113,9 @@ type config struct {
 	idleTimeout  time.Duration
 	reqTimeout   time.Duration
 	drain        time.Duration
+
+	gov     *govern.Controller // admission control (nil = admit everything)
+	maxBody int64              // POST body bound (0 = serve default, <0 = off)
 }
 
 func run(args []string, out io.Writer) error {
@@ -92,7 +126,10 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := serve.NewServer(ctx, cfg.loadFunc, serve.WithRequestTimeout(cfg.reqTimeout))
+	srv, err := serve.NewServer(ctx, cfg.loadFunc,
+		serve.WithRequestTimeout(cfg.reqTimeout),
+		serve.WithGovernor(cfg.gov),
+		serve.WithMaxBodyBytes(cfg.maxBody))
 	if err != nil {
 		return err
 	}
@@ -163,17 +200,44 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		idleTO   = fs.Duration("idle-timeout", 2*time.Minute, "http.Server idle-connection timeout (0 = none)")
 		reqTO    = fs.Duration("request-timeout", 0, "per-request handler deadline (0 = none)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+
+		maxRPS    = fs.Float64("max-rps", 0, "per-endpoint token-bucket rate limit, requests/second (0 = unlimited)")
+		maxConc   = fs.Int("max-concurrent", 0, "adaptive concurrency ceiling; enables admission control (0 = off unless -max-rps is set)")
+		maxQueue  = fs.Int("max-queue", 0, "bounded admission-queue depth; requires -max-concurrent (0 = 4x -max-concurrent)")
+		maxBody   = fs.String("max-body", "", "POST body size bound, e.g. 1MiB (empty = 1MiB, off = unbounded)")
+		memBudget = fs.String("mem-budget", "auto", "re-mining memory budget, e.g. 2GiB (auto = 80% of GOMEMLIMIT/cgroup limit, off = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *taxPath == "" {
-		fs.Usage()
-		return nil, fmt.Errorf("-tax is required")
+		return nil, usageErrf(fs, "-tax is required")
 	}
 	if (*repPath == "") == (*dataPath == "") {
-		fs.Usage()
-		return nil, fmt.Errorf("exactly one of -report or -data is required")
+		return nil, usageErrf(fs, "exactly one of -report or -data is required")
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"-poll", *poll}, {"-read-timeout", *readTO}, {"-write-timeout", *writeTO},
+		{"-idle-timeout", *idleTO}, {"-request-timeout", *reqTO}, {"-drain", *drain},
+	} {
+		if d.v < 0 {
+			return nil, usageErrf(fs, "%s = %v, want ≥ 0", d.name, d.v)
+		}
+	}
+	if *maxRPS < 0 {
+		return nil, usageErrf(fs, "-max-rps = %v, want ≥ 0", *maxRPS)
+	}
+	if *maxConc < 0 {
+		return nil, usageErrf(fs, "-max-concurrent = %d, want ≥ 0", *maxConc)
+	}
+	if *maxQueue < 0 {
+		return nil, usageErrf(fs, "-max-queue = %d, want ≥ 0", *maxQueue)
+	}
+	if *maxQueue > 0 && *maxConc == 0 {
+		return nil, usageErrf(fs, "-max-queue requires -max-concurrent (a queue needs a concurrency ceiling to drain into)")
 	}
 
 	cfg := &config{
@@ -181,6 +245,41 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		readTimeout: *readTO, writeTimeout: *writeTO, idleTimeout: *idleTO,
 		reqTimeout: *reqTO, drain: *drain,
 	}
+	if *maxConc > 0 || *maxRPS > 0 {
+		cfg.gov = govern.NewController(govern.Config{
+			MaxConcurrent: *maxConc,
+			MaxQueue:      *maxQueue,
+			MaxRPS:        *maxRPS,
+		})
+	}
+	switch strings.ToLower(*maxBody) {
+	case "":
+		// serve.DefaultMaxBodyBytes
+	case "off", "none":
+		cfg.maxBody = -1
+	default:
+		n, err := govern.ParseBytes(*maxBody)
+		if err != nil {
+			return nil, usageErrf(fs, "-max-body: %v", err)
+		}
+		cfg.maxBody = n
+	}
+	var mem *govern.Budget
+	switch strings.ToLower(*memBudget) {
+	case "auto":
+		mem = govern.DefaultBudget()
+	case "off", "none", "0":
+		// unlimited, no ledger
+	default:
+		n, err := govern.ParseBytes(*memBudget)
+		if err != nil {
+			return nil, usageErrf(fs, "-mem-budget: %v", err)
+		}
+		if n > 0 {
+			mem = govern.NewBudget(n)
+		}
+	}
+
 	if *repPath != "" {
 		cfg.source = *repPath
 		cfg.loadFunc = reportLoader(*repPath, *taxPath)
@@ -194,7 +293,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	case "naive":
 		opt.Algorithm = negmine.Naive
 	default:
-		return nil, fmt.Errorf("unknown -alg %q (want better or naive)", *algName)
+		return nil, usageErrf(fs, "unknown -alg %q (want better or naive)", *algName)
 	}
 	switch strings.ToLower(*genName) {
 	case "basic":
@@ -204,17 +303,19 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	case "estmerge":
 		opt.Gen.Algorithm = negmine.EstMerge
 	default:
-		return nil, fmt.Errorf("unknown -gen %q (want basic, cumulate or estmerge)", *genName)
+		return nil, usageErrf(fs, "unknown -gen %q (want basic, cumulate or estmerge)", *genName)
 	}
 	opt.Gen.MaxK = *maxK
 	opt.Count.Parallelism = *parallel
 	opt.Gen.Count.Parallelism = *parallel
 	cb, err := negmine.ParseCountBackend(*backend)
 	if err != nil {
-		return nil, err
+		return nil, usageErrf(fs, "%v", err)
 	}
 	opt.Count.Backend = cb
 	opt.Gen.Count.Backend = cb
+	opt.Count.Mem = mem
+	opt.Gen.Count.Mem = mem
 
 	cfg.source = *dataPath
 	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt)

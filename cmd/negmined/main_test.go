@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -363,5 +365,91 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if !strings.Contains(sink.String(), "negmine -format json") {
 		t.Fatalf("usage text missing report provenance:\n%s", sink.String())
+	}
+}
+
+// TestGovernanceFlagValidation covers the resource-governance flags: invalid
+// combinations must come back as usageErrors (exit 2 in main), valid ones
+// must build the governor and budget they describe.
+func TestGovernanceFlagValidation(t *testing.T) {
+	var sink strings.Builder
+	base := []string{"-tax", "t.txt", "-report", "r.json"}
+	bad := [][]string{
+		{"-max-queue", "10"},                         // queue without a concurrency ceiling
+		{"-max-concurrent", "-1"},                    // negative ceiling
+		{"-max-rps", "-5"},                           // negative rate
+		{"-max-queue", "-3", "-max-concurrent", "4"}, // negative queue
+		{"-request-timeout", "-1s"},                  // negative duration
+		{"-drain", "-10s"},
+		{"-poll", "-2s"},
+		{"-max-body", "wat"},
+		{"-mem-budget", "wat"},
+	}
+	for _, extra := range bad {
+		_, err := parseFlags(append(append([]string{}, base...), extra...), &sink)
+		if err == nil {
+			t.Fatalf("%v accepted", extra)
+		}
+		var ue *usageError
+		if !errors.As(err, &ue) {
+			t.Fatalf("%v: error %v is not a usageError (would exit 1, want 2)", extra, err)
+		}
+	}
+
+	// Valid: admission control on, bounded queue, rate limit, body bound.
+	cfg, err := parseFlags(append(append([]string{}, base...),
+		"-max-concurrent", "8", "-max-queue", "32", "-max-rps", "100", "-max-body", "64KiB"), &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.gov == nil {
+		t.Fatal("-max-concurrent did not build a governor")
+	}
+	if cfg.maxBody != 64<<10 {
+		t.Fatalf("maxBody = %d, want %d", cfg.maxBody, 64<<10)
+	}
+
+	// Rate limit alone also enables admission control.
+	cfg, err = parseFlags(append(append([]string{}, base...), "-max-rps", "50"), &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.gov == nil {
+		t.Fatal("-max-rps alone did not build a governor")
+	}
+
+	// No governance flags: no governor, default body bound, parse still ok.
+	cfg, err = parseFlags(base, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.gov != nil {
+		t.Fatal("governor built without governance flags")
+	}
+	if cfg.maxBody != 0 {
+		t.Fatalf("maxBody = %d, want 0 (serve default)", cfg.maxBody)
+	}
+
+	// -mem-budget off and explicit sizes both parse.
+	if _, err := parseFlags(append(append([]string{}, base...), "-mem-budget", "off"), &sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFlags(append(append([]string{}, base...), "-mem-budget", "512MiB"), &sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// Usage errors unwrap to exit status 2, plain errors to 1, -h to 0 —
+	// the contract main's switch implements.
+	_, err = parseFlags([]string{"-tax", "t", "-report", "r", "-max-queue", "1"}, &sink)
+	var ue *usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("usage error lost its type: %v", err)
+	}
+	_, err = parseFlags([]string{"-h"}, &sink)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: %v, want flag.ErrHelp", err)
+	}
+	if errors.As(err, &ue) {
+		t.Fatal("-h classified as usage error (would exit 2, want 0)")
 	}
 }

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"negmine/internal/gen"
+	"negmine/internal/govern"
+	"negmine/internal/negative"
+	"negmine/internal/report"
+	"negmine/internal/rulestore"
+	"negmine/internal/serve"
+)
+
+// OverloadLevel is one offered-load step of the overload benchmark: the
+// daemon's behavior when clients offer Multiplier× its configured -max-rps.
+type OverloadLevel struct {
+	Multiplier float64 `json:"multiplier"`
+	OfferedRPS float64 `json:"offered_rps"`
+	Requests   int     `json:"requests"`
+	Admitted   int     `json:"admitted"` // 200 responses
+	Shed       int     `json:"shed"`     // 503 responses (Retry-After attached)
+	ShedRate   float64 `json:"shed_rate"`
+
+	// Latency of admitted requests only — the shed path is near-free by
+	// design, so folding it in would flatter the numbers.
+	AdmittedP50Micros float64 `json:"admitted_p50_us"`
+	AdmittedP99Micros float64 `json:"admitted_p99_us"`
+}
+
+// OverloadBench is the overload section of BENCH_serving.json: /score driven
+// at 1×, 2× and 4× the governor's token-bucket rate, showing shed rate rising
+// with offered load while admitted latency stays flat — the graceful half of
+// graceful degradation.
+type OverloadBench struct {
+	Dataset        string          `json:"dataset"`
+	MaxRPS         float64         `json:"max_rps"`
+	MaxConcurrent  int             `json:"max_concurrent"`
+	SecondsPerStep float64         `json:"seconds_per_level"`
+	Levels         []OverloadLevel `json:"levels"`
+}
+
+// overloadMultipliers are the offered-load steps relative to -max-rps.
+var overloadMultipliers = []float64{1, 2, 4}
+
+// RunOverloadBench mines ds, serves the result behind an admission governor
+// rate-limited to maxRPS, and measures each load level for perLevel.
+func RunOverloadBench(ds *Dataset, minSupPct, minRI float64, genAlg gen.Algorithm, maxK, parallel int, maxRPS float64, perLevel time.Duration) (*OverloadBench, error) {
+	if maxRPS <= 0 {
+		maxRPS = 200
+	}
+	if perLevel <= 0 {
+		perLevel = 2 * time.Second
+	}
+	opt := negative.Options{
+		MinSupport: minSupPct / 100,
+		MinRI:      minRI,
+		Algorithm:  negative.Improved,
+		Gen:        gen.Options{Algorithm: genAlg, MaxK: maxK},
+	}
+	opt.Count.Parallelism = parallel
+	opt.Gen.Count.Parallelism = parallel
+	res, err := negative.Mine(ds.DB, ds.Tax, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mining %s for overload: %w", ds.Name, err)
+	}
+	rep := report.BuildNegative(res, opt.MinSupport, opt.MinRI, ds.Tax.Name)
+	st := rulestore.FromReport(rep)
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("bench: %s mined no rules at minsup %.2f%%; lower the support", ds.Name, minSupPct)
+	}
+
+	const maxConcurrent = 64
+	// A small burst (50ms of tokens) keeps the measurement about the steady
+	// rate: the default burst of one full second of tokens would absorb a
+	// short measurement window entirely and report zero shedding.
+	gov := govern.NewController(govern.Config{
+		MaxRPS:        maxRPS,
+		Burst:         math.Max(1, maxRPS/20),
+		MaxConcurrent: maxConcurrent,
+	})
+	srv, err := serve.NewServer(context.Background(),
+		func(context.Context) (*serve.Snapshot, error) {
+			return serve.BuildSnapshot(st, ds.Tax, serve.Meta{Source: "bench " + ds.Name}), nil
+		},
+		serve.WithLogger(func(string, ...any) {}),
+		serve.WithGovernor(gov),
+		serve.WithRequestTimeout(time.Second))
+	if err != nil {
+		return nil, err
+	}
+	h := srv.Handler()
+
+	// One fixed 3-item basket from the rule vocabulary: the benchmark varies
+	// load, not query shape.
+	var items []string
+	st.Each(func(e rulestore.Entry) bool {
+		items = append(items, e.Antecedent...)
+		if len(items) < 3 {
+			return true
+		}
+		return false
+	})
+	for len(items) < 3 {
+		items = append(items, items[len(items)-1])
+	}
+	body := fmt.Sprintf(`{"basket":[%q,%q,%q]}`, items[0], items[1], items[2])
+
+	out := &OverloadBench{
+		Dataset:        ds.Name,
+		MaxRPS:         maxRPS,
+		MaxConcurrent:  maxConcurrent,
+		SecondsPerStep: perLevel.Seconds(),
+	}
+	for _, mult := range overloadMultipliers {
+		lvl, err := driveOverloadLevel(h, body, mult, mult*maxRPS, perLevel)
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload %gx on %s: %w", mult, ds.Name, err)
+		}
+		out.Levels = append(out.Levels, *lvl)
+	}
+	return out, nil
+}
+
+// driveOverloadLevel offers paced load at offeredRPS for d and tallies the
+// outcome. Pacing is open-loop per worker (a fixed send interval, skipped
+// ticks dropped rather than banked) so a slow response does not silently
+// lower the offered rate the way closed-loop clients do.
+func driveOverloadLevel(h http.Handler, body string, mult, offeredRPS float64, d time.Duration) (*OverloadLevel, error) {
+	workers := 8
+	interval := time.Duration(float64(workers) / offeredRPS * float64(time.Second))
+	deadline := time.Now().Add(d)
+
+	var (
+		mu       sync.Mutex
+		admitted []time.Duration
+		shed     int
+		badCode  int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lat []time.Duration
+			sheds := 0
+			next := time.Now()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/score", strings.NewReader(body)))
+				switch rec.Code {
+				case http.StatusOK:
+					lat = append(lat, time.Since(start))
+				case http.StatusServiceUnavailable:
+					sheds++
+				default:
+					mu.Lock()
+					if badCode == 0 {
+						badCode = rec.Code
+					}
+					mu.Unlock()
+					return
+				}
+				next = next.Add(interval)
+				if sleep := time.Until(next); sleep > 0 {
+					time.Sleep(sleep)
+				} else {
+					next = time.Now() // behind schedule: drop the missed ticks
+				}
+			}
+			mu.Lock()
+			admitted = append(admitted, lat...)
+			shed += sheds
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if badCode != 0 {
+		return nil, fmt.Errorf("unexpected status %d (want only 200 or 503)", badCode)
+	}
+
+	lvl := &OverloadLevel{
+		Multiplier: mult,
+		OfferedRPS: offeredRPS,
+		Requests:   len(admitted) + shed,
+		Admitted:   len(admitted),
+		Shed:       shed,
+	}
+	if lvl.Requests > 0 {
+		lvl.ShedRate = float64(shed) / float64(lvl.Requests)
+	}
+	p50, p99 := latencyQuantiles(admitted)
+	lvl.AdmittedP50Micros = p50.Seconds() * 1e6
+	lvl.AdmittedP99Micros = p99.Seconds() * 1e6
+	return lvl, nil
+}
+
+// PrintOverload renders overload benchmarks as a human-readable summary.
+func PrintOverload(w io.Writer, rows []*OverloadBench) {
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (max-rps %.0f, %gs/level):\n", r.Dataset, r.MaxRPS, r.SecondsPerStep)
+		for _, l := range r.Levels {
+			fmt.Fprintf(w, "  %gx (%.0f rps offered): %d reqs, shed %.1f%%; admitted p50 %.1fµs p99 %.1fµs\n",
+				l.Multiplier, l.OfferedRPS, l.Requests, l.ShedRate*100,
+				l.AdmittedP50Micros, l.AdmittedP99Micros)
+		}
+	}
+}

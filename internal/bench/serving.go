@@ -161,19 +161,21 @@ func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
 	return at(0.50), at(0.99)
 }
 
-// WriteServingJSON renders serving benchmarks as the indented JSON stored
-// in BENCH_serving.json.
-func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench) error {
+// WriteServingJSON renders serving benchmarks (and, when run, the overload
+// benchmark) as the indented JSON stored in BENCH_serving.json.
+func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Description string          `json:"description"`
-		Scale       int             `json:"scale"`
-		Benches     []*ServingBench `json:"benches"`
+		Description string           `json:"description"`
+		Scale       int              `json:"scale"`
+		Benches     []*ServingBench  `json:"benches"`
+		Overload    []*OverloadBench `json:"overload,omitempty"`
 	}{
-		Description: "Serving layer: snapshot build time and QueryItem/Score throughput and latency on mined rule sets (produced by cmd/experiments -servebench)",
+		Description: "Serving layer: snapshot build time and QueryItem/Score throughput and latency on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench)",
 		Scale:       scale,
 		Benches:     rows,
+		Overload:    overload,
 	})
 }
 

@@ -1,0 +1,126 @@
+package count
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"negmine/internal/bitmat"
+	"negmine/internal/fault"
+	"negmine/internal/govern"
+	"negmine/internal/item"
+)
+
+func TestBudgetAutoAvoidsUnaffordableBitmap(t *testing.T) {
+	db := randomDB(7, 6400, 100, 10)
+	r := rand.New(rand.NewSource(8))
+	universe := make(item.Itemset, 100)
+	for i := range universe {
+		universe[i] = item.Item(i)
+	}
+	groups := randomGroups(r, universe, 2)
+
+	est := bitmat.EstimateBytes(db.Count(), usedItems(groups).Len())
+	mem := govern.NewBudget(est / 2) // bitmap cannot fit, hash trees can
+	opt := Options{Mem: mem}
+	if eng := EngineFor(db, groups, nil, opt); eng.Name() != "hashtree" {
+		t.Fatalf("auto selection under budget picked %s, want hashtree", eng.Name())
+	}
+
+	// Without the budget the same pass is affordable and auto picks bitmap.
+	if eng := EngineFor(db, groups, nil, Options{}); eng.Name() != "bitmap" {
+		t.Fatalf("auto selection without budget picked %s, want bitmap", eng.Name())
+	}
+}
+
+func TestBudgetBitmapFallsBackToHashTree(t *testing.T) {
+	db := randomDB(9, 6400, 100, 10)
+	r := rand.New(rand.NewSource(10))
+	universe := make(item.Itemset, 100)
+	for i := range universe {
+		universe[i] = item.Item(i)
+	}
+	groups := randomGroups(r, universe, 2)
+
+	want, err := Multi(db, groups, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := bitmat.EstimateBytes(db.Count(), usedItems(groups).Len())
+	mem := govern.NewBudget(est / 2)
+	got, err := Multi(db, groups, Options{Backend: BackendBitmap, Mem: mem})
+	if err != nil {
+		t.Fatalf("forced bitmap under budget must degrade, got error: %v", err)
+	}
+	for g := range want {
+		for i := range want[g] {
+			if got[g][i] != want[g][i] {
+				t.Fatalf("group %d cand %d: budgeted %d, unlimited %d", g, i, got[g][i], want[g][i])
+			}
+		}
+	}
+	if mem.Denials() == 0 {
+		t.Fatal("fallback ran but the budget recorded no denial")
+	}
+	if mem.InUse() != 0 {
+		t.Fatalf("budget leaked: %d bytes still in use", mem.InUse())
+	}
+	if hw := mem.HighWater(); hw == 0 || hw > mem.Total() {
+		t.Fatalf("high water %d, want in (0, %d]", hw, mem.Total())
+	}
+}
+
+func TestBudgetFailpointForcesBitmapFallback(t *testing.T) {
+	db := randomDB(11, 300, 30, 8)
+	r := rand.New(rand.NewSource(12))
+	universe := make(item.Itemset, 30)
+	for i := range universe {
+		universe[i] = item.Item(i)
+	}
+	groups := randomGroups(r, universe, 2)
+
+	want, err := Multi(db, groups, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unlimited budget: only the injected fault can deny, and it denies the
+	// first reservation — the bitmap matrix — so the pass must degrade to
+	// the hash tree, whose own reservation (hit 2) succeeds.
+	mem := govern.NewBudget(0)
+	defer fault.Enable(govern.PointBudget, fault.Error("injected oom"), fault.OnHit(1))()
+	got, err := Multi(db, groups, Options{Backend: BackendBitmap, Mem: mem})
+	if err != nil {
+		t.Fatalf("injected bitmap denial must degrade, got error: %v", err)
+	}
+	for g := range want {
+		for i := range want[g] {
+			if got[g][i] != want[g][i] {
+				t.Fatalf("group %d cand %d: budgeted %d, unlimited %d", g, i, got[g][i], want[g][i])
+			}
+		}
+	}
+	if mem.Denials() != 1 {
+		t.Fatalf("denials = %d, want 1", mem.Denials())
+	}
+}
+
+func TestBudgetHashTreeIsTheFloor(t *testing.T) {
+	db := randomDB(13, 200, 20, 6)
+	r := rand.New(rand.NewSource(14))
+	universe := make(item.Itemset, 20)
+	for i := range universe {
+		universe[i] = item.Item(i)
+	}
+	groups := randomGroups(r, universe, 2)
+
+	mem := govern.NewBudget(16) // nothing fits
+	_, err := Multi(db, groups, Options{Backend: BackendHashTree, Mem: mem})
+	if !errors.Is(err, govern.ErrOverBudget) {
+		t.Fatalf("hash tree under impossible budget: %v, want ErrOverBudget", err)
+	}
+	if mem.InUse() != 0 {
+		t.Fatalf("failed reservation leaked %d bytes", mem.InUse())
+	}
+}

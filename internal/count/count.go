@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"negmine/internal/govern"
 	"negmine/internal/item"
 	"negmine/internal/taxonomy"
 	"negmine/internal/txdb"
@@ -42,6 +43,14 @@ type Options struct {
 	// selection (0 = DefaultBitmapBudget). An explicit BackendBitmap
 	// ignores the budget.
 	BitmapBudget int64
+	// Mem, if non-nil, is the process-wide memory ledger every engine
+	// reserves its dominant allocation against before making it: the bitmap
+	// engine its matrix, the hash-tree engine its trees and per-worker
+	// counters. A bitmap reservation that fails degrades the pass to the
+	// hash-tree engine (see MultiTransformed); a hash-tree reservation that
+	// fails is the floor of the ladder and surfaces as an error wrapping
+	// govern.ErrOverBudget. Nil means unbounded.
+	Mem *govern.Budget
 	// Tax, if non-nil, declares that the installed transforms (shared or
 	// per-group) are taxonomy ancestor extensions — possibly filtered down
 	// to candidate items — under this taxonomy. The declaration lets the

@@ -117,7 +117,14 @@ func EngineFor(db txdb.DB, groups [][]item.Itemset, transforms []TransformInto, 
 	if fault.Hit(PointBudget) != nil {
 		return HashTreeEngine{} // injected budget trip
 	}
-	if bitmat.EstimateBytes(db.Count(), usedItems(groups).Len()) > budget {
+	est := bitmat.EstimateBytes(db.Count(), usedItems(groups).Len())
+	if est > budget {
+		return HashTreeEngine{}
+	}
+	// A matrix that fits BitmapBudget may still not fit what is left of the
+	// process memory budget; don't pick an engine whose reservation is
+	// already known to fail.
+	if est > opt.Mem.Available() {
 		return HashTreeEngine{}
 	}
 	return BitmapEngine{}
@@ -201,6 +208,11 @@ func (BitmapEngine) Multi(db txdb.DB, groups [][]item.Itemset, transforms []Tran
 		return nil, fmt.Errorf("count: %d transforms for %d groups", len(transforms), len(groups))
 	}
 	used := usedItems(groups)
+	reserved := bitmat.EstimateBytes(db.Count(), used.Len())
+	if err := opt.Mem.Reserve(reserved); err != nil {
+		return nil, fmt.Errorf("count: bitmap matrix: %w", err)
+	}
+	defer opt.Mem.Release(reserved)
 	var (
 		m   *bitmat.Matrix
 		err error

@@ -1,9 +1,11 @@
 package count
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"negmine/internal/govern"
 	"negmine/internal/hashtree"
 	"negmine/internal/item"
 	"negmine/internal/stats"
@@ -31,7 +33,20 @@ func MultiTransformed(db txdb.DB, groups [][]item.Itemset, transforms []Transfor
 	if transforms != nil && len(transforms) != len(groups) {
 		return nil, fmt.Errorf("count: %d transforms for %d groups", len(transforms), len(groups))
 	}
-	return EngineFor(db, groups, transforms, opt).Multi(db, groups, transforms, opt)
+	eng := EngineFor(db, groups, transforms, opt)
+	out, err := eng.Multi(db, groups, transforms, opt)
+	if err != nil && errors.Is(err, govern.ErrOverBudget) {
+		// Degradation ladder: a bitmap matrix that no longer fits the
+		// process memory budget (EngineFor estimates against a racing
+		// ledger, so a reservation can still lose) falls back to the
+		// hash-tree engine, which needs a fraction of the memory. A
+		// hash-tree reservation that fails has nothing cheaper to fall
+		// back to and stays an error.
+		if _, isBitmap := eng.(BitmapEngine); isBitmap {
+			return HashTreeEngine{}.Multi(db, groups, transforms, opt)
+		}
+	}
+	return out, err
 }
 
 // HashTreeEngine counts by probing one Agrawal–Srikant hash tree per group
@@ -93,6 +108,20 @@ func (HashTreeEngine) Multi(db txdb.DB, groups [][]item.Itemset, transforms []Tr
 	if transforms != nil && len(transforms) != len(groups) {
 		return nil, fmt.Errorf("count: %d transforms for %d groups", len(transforms), len(groups))
 	}
+	sharder, canShard := db.(txdb.Sharder)
+	workers := opt.Parallelism
+	if workers < 2 || !canShard {
+		workers = 1
+	}
+	var reserved int64
+	for _, g := range groups {
+		reserved += hashtree.EstimateBytes(len(g), workers)
+	}
+	if err := opt.Mem.Reserve(reserved); err != nil {
+		return nil, fmt.Errorf("count: hash trees: %w", err)
+	}
+	defer opt.Mem.Release(reserved)
+
 	trees := make([]*hashtree.Tree, len(groups))
 	for g, cands := range groups {
 		t, err := hashtree.Build(cands, opt.MaxLeaf)
@@ -102,9 +131,7 @@ func (HashTreeEngine) Multi(db txdb.DB, groups [][]item.Itemset, transforms []Tr
 		trees[g] = t
 	}
 
-	sharder, canShard := db.(txdb.Sharder)
-	workers := opt.Parallelism
-	if workers < 2 || !canShard {
+	if workers < 2 {
 		w := newHashTreeWorker(trees)
 		err := db.Scan(func(tx txdb.Transaction) error {
 			w.addAll(transforms, opt, tx.Items)

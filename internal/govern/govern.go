@@ -1,0 +1,46 @@
+// Package govern is the resource-governance layer: explicit budgets for the
+// two resources that take the system down under load — concurrency on the
+// serving side and memory on the mining side.
+//
+// The serving half is the admission Controller: a bounded FIFO wait queue in
+// front of the request handlers, a concurrency limiter whose window adapts
+// by AIMD on observed latency, per-endpoint token-bucket rate limits, and a
+// degraded mode that keeps cheap snapshot lookups answering while expensive
+// work is shed. Every rejection is a typed *ShedError carrying a Retry-After
+// hint, so the HTTP layer can turn it into a well-formed 503 instead of an
+// opaque failure.
+//
+// The mining half is the memory Budget: a process-wide byte ledger the
+// allocation hot spots (bitmap materialization, hash-tree growth, partition
+// buffers) reserve against before allocating. A failed reservation is a
+// signal to degrade — fall back to a cheaper representation or narrow a
+// partition — never a crash. The default budget comes from GOMEMLIMIT or
+// the cgroup memory limit, mirroring the Partition paper's premise that the
+// miner must size its working set to the memory it actually has.
+//
+// Both halves follow the same philosophy as internal/fault, which the
+// package integrates with: overload must be a first-class, reproducible
+// test input. The failpoints below let the chaos suite drive every shed and
+// fallback path on demand.
+package govern
+
+// Failpoints (see internal/fault). All are no-ops unless armed by a test or
+// NEGMINE_FAULTS.
+const (
+	// PointQueueFull fires on every attempt to enqueue a request for
+	// admission; an error action simulates a saturated queue and forces the
+	// queue-full shed path regardless of actual occupancy.
+	PointQueueFull = "govern.queue.full"
+
+	// PointBudget fires on every memory-budget reservation; an error action
+	// simulates budget exhaustion and must produce the documented
+	// degradation (bitmap→hashtree fallback, partition narrowing), never a
+	// failure of the whole run.
+	PointBudget = "govern.budget"
+
+	// PointLimiterStall fires at the top of every admission attempt, before
+	// the limiter is consulted; a sleep action models a stalled limiter
+	// (lock convoy, scheduler delay) and an error action sheds the request
+	// outright.
+	PointLimiterStall = "govern.limiter.stall"
+)

@@ -1,0 +1,154 @@
+package govern
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"negmine/internal/fault"
+)
+
+func TestBudgetReserveRelease(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(1); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("over-budget reserve: %v, want ErrOverBudget", err)
+	}
+	if got := b.InUse(); got != 100 {
+		t.Fatalf("InUse = %d, want 100", got)
+	}
+	if got := b.Available(); got != 0 {
+		t.Fatalf("Available = %d, want 0", got)
+	}
+	b.Release(40)
+	if err := b.Reserve(30); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.HighWater(), int64(100); got != want {
+		t.Fatalf("HighWater = %d, want %d", got, want)
+	}
+	if got := b.Denials(); got != 1 {
+		t.Fatalf("Denials = %d, want 1", got)
+	}
+}
+
+func TestBudgetNilAndUnlimited(t *testing.T) {
+	var nilBudget *Budget
+	if err := nilBudget.Reserve(1 << 40); err != nil {
+		t.Fatalf("nil budget rejected: %v", err)
+	}
+	nilBudget.Release(1 << 40)
+	if nilBudget.Available() != math.MaxInt64 {
+		t.Fatal("nil budget not unlimited")
+	}
+
+	u := NewBudget(0)
+	if err := u.Reserve(1 << 40); err != nil {
+		t.Fatalf("unlimited budget rejected: %v", err)
+	}
+	if got := u.InUse(); got != 1<<40 {
+		t.Fatalf("unlimited budget ledger broken: %d", got)
+	}
+	if u.Available() != math.MaxInt64 {
+		t.Fatal("unlimited budget Available != MaxInt64")
+	}
+}
+
+func TestBudgetReleaseClampsAtZero(t *testing.T) {
+	b := NewBudget(10)
+	if err := b.Reserve(5); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(50) // caller bug: must clamp, not go negative
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after over-release = %d, want 0", got)
+	}
+	if err := b.Reserve(10); err != nil {
+		t.Fatalf("budget corrupted by over-release: %v", err)
+	}
+}
+
+func TestBudgetConcurrentNeverExceedsTotal(t *testing.T) {
+	const total, chunk = 1 << 20, 1 << 10
+	b := NewBudget(total)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if err := b.Reserve(chunk); err == nil {
+					b.Release(chunk)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hw := b.HighWater(); hw > total {
+		t.Fatalf("high water %d exceeded total %d", hw, total)
+	}
+}
+
+func TestBudgetFailpoint(t *testing.T) {
+	b := NewBudget(0) // unlimited: only the failpoint can deny
+	defer fault.Enable(PointBudget, fault.Error("injected oom"), fault.OnHit(2))()
+	if err := b.Reserve(1); err != nil {
+		t.Fatalf("first reserve: %v", err)
+	}
+	err := b.Reserve(1)
+	if !errors.Is(err, ErrOverBudget) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected denial = %v, want ErrOverBudget wrapping ErrInjected", err)
+	}
+	if err := b.Reserve(1); err != nil {
+		t.Fatalf("third reserve: %v", err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"1048576", 1 << 20, false},
+		{"512MiB", 512 << 20, false},
+		{"512mb", 512 << 20, false},
+		{"2G", 2 << 30, false},
+		{"2GiB", 2 << 30, false},
+		{"1.5k", 1536, false},
+		{"64b", 64, false},
+		{"1t", 1 << 40, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"-5m", 0, true},
+		{"mib", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseBytes(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDetectLimitDoesNotPanic(t *testing.T) {
+	// Environment-dependent: just prove it returns something sane.
+	if lim := DetectLimit(); lim < 0 {
+		t.Fatalf("DetectLimit = %d, want ≥ 0", lim)
+	}
+	b := DefaultBudget()
+	if b == nil {
+		t.Fatal("DefaultBudget returned nil")
+	}
+}

@@ -85,6 +85,26 @@ func (t *Tree) insert(n *node, idx int32, depth, maxLeaf int) {
 	}
 }
 
+// EstimateBytes estimates the resident size of a tree over n candidates
+// probed by `counters` per-worker Counters — the number a memory budget
+// reserves before Build. Candidate itemsets themselves are caller-owned and
+// not charged. The tree costs a leaf index entry per candidate plus interior
+// nodes amortized over DefaultMaxLeaf-sized leaves; each counter keeps a
+// count and a last-seen sequence number per candidate.
+func EstimateBytes(n, counters int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if counters < 1 {
+		counters = 1
+	}
+	const (
+		perCandTree    = 4 + 24 // leaf slot + amortized node overhead
+		perCandCounter = 8 + 8  // counts + last entries
+	)
+	return int64(n) * (perCandTree + int64(counters)*perCandCounter)
+}
+
 // K returns the candidate size (0 for an empty tree).
 func (t *Tree) K() int { return t.k }
 

@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"errors"
+
+	"negmine/internal/fault"
+	"negmine/internal/govern"
+	"negmine/internal/item"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// Phase I holds, per partition, the buffered (extended) transactions plus
+// the vertical tidlists and intermediate candidate entries built from them;
+// the latter two together cost about as much again as the buffer twice
+// over, so a partition's footprint is charged at this multiple of its raw
+// transaction bytes.
+const phase1Factor = 3
+
+// txBytes is the charged resident cost of one buffered transaction of n
+// items: slice header plus per-item storage, rounded up generously — the
+// ledger tracks intent, and over-charging degrades early rather than late.
+func txBytes(n int) int64 { return 48 + 8*int64(n) }
+
+// estimateDBBytes scans db once and sums the buffered cost of every
+// transaction after taxonomy extension — the number partition narrowing
+// sizes partitions from. The extra pass is only paid when a memory budget
+// is configured, where bounded memory is worth one more sequential read.
+func estimateDBBytes(db txdb.DB, tax *taxonomy.Taxonomy) (int64, error) {
+	var total int64
+	buf := make([]item.Item, 0, 64)
+	err := db.Scan(func(tx txdb.Transaction) error {
+		n := tx.Items.Len()
+		if tax != nil {
+			s := tax.ExtendInto(buf[:0], tx.Items)
+			n = s.Len()
+			buf = s[:0]
+		}
+		total += txBytes(n)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// narrowParts raises the partition count until one partition's phase-I
+// footprint (phase1Factor × its share of dbBytes) fits the budget. It sizes
+// against Budget.Total(), not Available(): the result must be a pure
+// function of (database, options, budget flag) so a checkpointed run killed
+// and resumed recomputes the identical partitioning and the manifest
+// fingerprint still matches.
+func narrowParts(parts int, dbBytes, total int64) int {
+	if total <= 0 || dbBytes <= 0 {
+		return parts
+	}
+	// Partitions are cut by transaction count while this sizes by bytes, so
+	// a partition of fatter-than-average transactions overshoots its share;
+	// budget each partition only 4/5 of an exact fit to absorb the skew.
+	per := total / phase1Factor * 4 / 5
+	if per <= 0 {
+		per = 1
+	}
+	if needed := int((dbBytes + per - 1) / per); needed > parts {
+		return needed
+	}
+	return parts
+}
+
+// maxWorkers caps parallel phase-I workers so that `workers` concurrent
+// partition footprints fit the budget together.
+func maxWorkers(workers, parts int, dbBytes, total int64) int {
+	if total <= 0 || dbBytes <= 0 || parts <= 0 {
+		return workers
+	}
+	perPart := phase1Factor * dbBytes / int64(parts)
+	if perPart <= 0 {
+		perPart = 1
+	}
+	if cap := int(total / perPart); cap < workers {
+		workers = cap
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ledgerChunk is the granularity ledgers reserve budget bytes at, keeping
+// the per-transaction hot path off the shared budget atomics.
+const ledgerChunk = 256 << 10
+
+// ledger charges a run's buffered bytes against the shared memory budget in
+// coarse chunks. A nil ledger (no budget configured) charges nothing. Not
+// safe for concurrent use; parallel workers each own one.
+type ledger struct {
+	b        *govern.Budget
+	chunk    int64 // reservation granularity
+	used     int64 // bytes charged by the current partition
+	reserved int64 // bytes actually reserved from the budget
+}
+
+// newLedger returns a ledger over b, or nil when b is nil so that the
+// no-budget path stays free. The chunk shrinks with small budgets so coarse
+// reservations don't reject work a tight budget could still fit.
+func newLedger(b *govern.Budget) *ledger {
+	if b == nil {
+		return nil
+	}
+	chunk := int64(ledgerChunk)
+	if total := b.Total(); total > 0 && chunk > total/16 {
+		chunk = total / 16
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	return &ledger{b: b, chunk: chunk}
+}
+
+// charge claims n more bytes, reserving another chunk from the budget when
+// the charged total outgrows what is reserved. A chunk that no longer fits
+// is retried at the exact missing amount before giving up. On failure the
+// charge is rolled back and the budget error (wrapping govern.ErrOverBudget)
+// returned; the caller decides whether to flush early or give up.
+func (l *ledger) charge(n int64) error {
+	if l == nil {
+		return nil
+	}
+	l.used += n
+	for l.used > l.reserved {
+		need := l.used - l.reserved
+		grab := l.chunk
+		if grab < need {
+			grab = need
+		}
+		err := l.b.Reserve(grab)
+		// Retry an over-sized chunk at the exact missing amount — but not
+		// an injected denial, which must deny no matter the size.
+		if err != nil && grab > need && !errors.Is(err, fault.ErrInjected) {
+			grab = need
+			err = l.b.Reserve(grab)
+		}
+		if err != nil {
+			l.used -= n
+			return err
+		}
+		l.reserved += grab
+	}
+	return nil
+}
+
+// release returns everything the ledger holds to the budget (end of a
+// partition: buffer, tidlists and entries are all dead).
+func (l *ledger) release() {
+	if l == nil {
+		return
+	}
+	l.b.Release(l.reserved)
+	l.used, l.reserved = 0, 0
+}

@@ -1,0 +1,201 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"negmine/internal/count"
+	"negmine/internal/fault"
+	"negmine/internal/govern"
+)
+
+// neverFire arms a failpoint purely as a hit counter: the trigger is an
+// evaluation number no test reaches, so the point counts partitions mined
+// (every phase-I partition evaluates PointPhase1) without injecting.
+func neverFire(t *testing.T, name string) {
+	t.Helper()
+	t.Cleanup(fault.Enable(name, fault.Error("never"), fault.OnHit(math.MaxInt32)))
+}
+
+// TestBudgetedMiningMatchesUnlimited is the acceptance check for
+// memory-bounded mining: under a budget a fraction of the data size, the
+// run must narrow its partitioning to fit, never reserve past the budget,
+// and still produce exactly the unlimited result.
+func TestBudgetedMiningMatchesUnlimited(t *testing.T) {
+	db := randomDB(21, 300, 15, 6)
+	want, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbBytes, err := estimateDBBytes(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := govern.NewBudget(dbBytes / 2) // whole DB cannot be buffered at once
+	neverFire(t, PointPhase1)
+	got, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 2, Count: count.Options{Mem: mem}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, g := asMap(want), asMap(got)
+	if len(w) != len(g) {
+		t.Fatalf("budgeted run found %d itemsets, unlimited %d", len(g), len(w))
+	}
+	for k, c := range w {
+		if g[k] != c {
+			t.Fatalf("%v = %d, want %d", k.Itemset(), g[k], c)
+		}
+	}
+	if mined := fault.Hits(PointPhase1); mined <= 2 {
+		t.Fatalf("budget %d over %d data bytes mined %d partitions, want narrowing past the configured 2",
+			mem.Total(), dbBytes, mined)
+	}
+	if hw := mem.HighWater(); hw == 0 || hw > mem.Total() {
+		t.Fatalf("high water %d, want in (0, %d]", hw, mem.Total())
+	}
+	if mem.InUse() != 0 {
+		t.Fatalf("budget leaked: %d bytes still in use", mem.InUse())
+	}
+}
+
+// TestBudgetedParallelMatchesUnlimited runs the same check through the
+// parallel phase-I path, which must cap its worker fleet to fit the budget.
+func TestBudgetedParallelMatchesUnlimited(t *testing.T) {
+	db := randomDB(22, 400, 15, 6)
+	want, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbBytes, err := estimateDBBytes(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := govern.NewBudget(2 * dbBytes) // room for ~two concurrent partitions of four
+	got, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 4,
+		Count: count.Options{Mem: mem, Parallelism: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, g := asMap(want), asMap(got)
+	if len(w) != len(g) {
+		t.Fatalf("budgeted run found %d itemsets, unlimited %d", len(g), len(w))
+	}
+	for k, c := range w {
+		if g[k] != c {
+			t.Fatalf("%v = %d, want %d", k.Itemset(), g[k], c)
+		}
+	}
+	if hw := mem.HighWater(); hw == 0 || hw > mem.Total() {
+		t.Fatalf("high water %d, want in (0, %d]", hw, mem.Total())
+	}
+	if mem.InUse() != 0 {
+		t.Fatalf("budget leaked: %d bytes still in use", mem.InUse())
+	}
+}
+
+// TestBudgetFailpointForcesEarlyFlush injects a single budget denial
+// mid-scan and expects the sequential path to flush the partition early —
+// adaptive narrowing — instead of failing, with an unchanged result.
+func TestBudgetFailpointForcesEarlyFlush(t *testing.T) {
+	db := randomDB(23, 3000, 20, 12)
+	want, err := Mine(db, Options{MinSupport: 0.05, NumPartitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unlimited budget: only the failpoint can deny. The sequential ledger
+	// reserves a fresh chunk roughly every 256 KiB of buffered data, so the
+	// second reservation lands mid-partition with a non-empty buffer.
+	mem := govern.NewBudget(0)
+	neverFire(t, PointPhase1)
+	defer fault.Enable(govern.PointBudget, fault.Error("injected oom"), fault.OnHit(2))()
+	got, err := Mine(db, Options{MinSupport: 0.05, NumPartitions: 1, Count: count.Options{Mem: mem}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, g := asMap(want), asMap(got)
+	if len(w) != len(g) {
+		t.Fatalf("early-flush run found %d itemsets, unlimited %d", len(g), len(w))
+	}
+	for k, c := range w {
+		if g[k] != c {
+			t.Fatalf("%v = %d, want %d", k.Itemset(), g[k], c)
+		}
+	}
+	if mem.Denials() == 0 {
+		t.Fatal("injected denial not recorded")
+	}
+	if mined := fault.Hits(PointPhase1); mined < 2 {
+		t.Fatalf("mined %d partitions, want ≥ 2 (early flush of the single configured partition)", mined)
+	}
+}
+
+// TestBudgetedCheckpointResume proves narrowing is deterministic: a
+// budgeted run killed mid-phase-I resumes against the same (narrowed)
+// partitioning and completes with the unlimited result.
+func TestBudgetedCheckpointResume(t *testing.T) {
+	db := randomDB(24, 300, 15, 6)
+	want, err := Mine(db, Options{MinSupport: 0.08, NumPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbBytes, err := estimateDBBytes(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/resume.json"
+	opt := Options{MinSupport: 0.08, NumPartitions: 2, CheckpointPath: path,
+		Count: count.Options{Mem: govern.NewBudget(dbBytes / 2)}}
+
+	// First run dies on its third partition.
+	disarm := fault.Enable(PointPhase1, fault.Error("killed"), fault.OnHit(3))
+	_, err = Mine(db, opt)
+	disarm()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("first run: %v, want injected kill", err)
+	}
+
+	// The resumed run recomputes the same narrowed partitioning (else the
+	// manifest fingerprint would mismatch and completed work be redone —
+	// still correct, but the skip proves determinism).
+	neverFire(t, PointPhase1)
+	opt.Count.Mem = govern.NewBudget(dbBytes / 2)
+	got, err := Mine(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, g := asMap(want), asMap(got)
+	if len(w) != len(g) {
+		t.Fatalf("resumed run found %d itemsets, unlimited %d", len(g), len(w))
+	}
+	for k, c := range w {
+		if g[k] != c {
+			t.Fatalf("%v = %d, want %d", k.Itemset(), g[k], c)
+		}
+	}
+	total := narrowParts(2, dbBytes, dbBytes/2)
+	if resumed := int(fault.Hits(PointPhase1)); resumed >= total {
+		t.Fatalf("resume re-evaluated %d partitions of %d: completed partitions were not skipped", resumed, total)
+	}
+}
+
+// TestChargeOverImpossibleBudget: a budget smaller than a single
+// transaction's footprint must fail cleanly with ErrOverBudget.
+func TestChargeOverImpossibleBudget(t *testing.T) {
+	db := randomDB(25, 50, 10, 6)
+	mem := govern.NewBudget(8)
+	_, err := Mine(db, Options{MinSupport: 0.1, NumPartitions: 1, Count: count.Options{Mem: mem}})
+	if !errors.Is(err, govern.ErrOverBudget) {
+		t.Fatalf("impossible budget: %v, want ErrOverBudget", err)
+	}
+	if mem.InUse() != 0 {
+		t.Fatalf("failed run leaked %d bytes", mem.InUse())
+	}
+}

@@ -130,6 +130,24 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 		parts = n
 	}
 
+	// With a memory budget configured, re-derive the partitioning from the
+	// data: one cheap sizing pass, then raise the partition count until each
+	// partition's phase-I footprint fits the budget. Narrowing is a pure
+	// function of (db, options, budget total), so checkpointed runs resume
+	// against the same partitioning.
+	budget := opt.Count.Mem
+	var dbBytes int64
+	if budget.Total() > 0 {
+		var err error
+		if dbBytes, err = estimateDBBytes(db, opt.Taxonomy); err != nil {
+			return nil, err
+		}
+		parts = narrowParts(parts, dbBytes, budget.Total())
+		if parts > n {
+			parts = n
+		}
+	}
+
 	var transform func(item.Itemset) item.Itemset
 	if opt.Taxonomy != nil {
 		tax := opt.Taxonomy
@@ -155,10 +173,12 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 		// Every partition was mined before the previous run died; the
 		// merged set is already seeded from the manifest.
 	case ok && opt.Count.Parallelism > 1:
-		if err := phaseOneParallel(ranger, n, parts, partSize, opt, transform, global, ckpt); err != nil {
+		if err := phaseOneParallel(ranger, n, parts, partSize, opt, transform, global, ckpt, dbBytes); err != nil {
 			return nil, err
 		}
 	default:
+		led := newLedger(budget)
+		defer led.release()
 		buf := make([]item.Itemset, 0, partSize)
 		p := 0
 		flush := func() error {
@@ -166,7 +186,7 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 				return nil
 			}
 			skip := ckpt.done(p)
-			defer func() { buf = buf[:0]; p++ }()
+			defer func() { buf = buf[:0]; p++; led.release() }()
 			if skip {
 				return nil
 			}
@@ -182,6 +202,23 @@ func Mine(db txdb.DB, opt Options) (*apriori.Result, error) {
 				s = transform(s)
 			} else {
 				s = s.Clone()
+			}
+			cost := phase1Factor * txBytes(s.Len())
+			if err := led.charge(cost); err != nil {
+				// Adaptive narrowing: the up-front estimate undershot (or
+				// the serving side is holding budget) — mine what is
+				// buffered, which frees the ledger, and retry. Only without
+				// a checkpoint: its resume contract needs the partition
+				// boundaries the manifest fingerprinted.
+				if ckpt != nil || len(buf) == 0 {
+					return err
+				}
+				if ferr := flush(); ferr != nil {
+					return ferr
+				}
+				if err := led.charge(cost); err != nil {
+					return err
+				}
 			}
 			buf = append(buf, s)
 			if len(buf) >= partSize {
@@ -258,11 +295,15 @@ type rangeScanner interface {
 // Partitions the checkpoint records as done are skipped entirely (the done
 // set is snapshotted before the workers start; within one run no partition
 // is dispatched twice, so the snapshot cannot go stale).
-func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, transform func(item.Itemset) item.Itemset, global map[item.Key]struct{}, ckpt *checkpoint) error {
+func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, transform func(item.Itemset) item.Itemset, global map[item.Key]struct{}, ckpt *checkpoint, dbBytes int64) error {
+	budget := opt.Count.Mem
 	workers := opt.Count.Parallelism
 	if workers > parts {
 		workers = parts
 	}
+	// Every worker holds one partition's phase-I footprint at a time; cap
+	// the fleet so their combined footprints fit the budget.
+	workers = maxWorkers(workers, parts, dbBytes, budget.Total())
 	doneAtStart := make([]bool, parts)
 	for p := range doneAtStart {
 		doneAtStart[p] = ckpt.done(p)
@@ -277,6 +318,8 @@ func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, tran
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			led := newLedger(budget)
+			defer led.release()
 			for {
 				p := int(next.Add(1)) - 1
 				lo := p * partSize
@@ -302,6 +345,13 @@ func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, tran
 					} else {
 						s = s.Clone()
 					}
+					// Parallel ranges are fixed, so a failed charge cannot
+					// flush early the way the sequential path does; it
+					// aborts the worker (the checkpoint, if any, keeps
+					// completed partitions).
+					if err := led.charge(phase1Factor * txBytes(s.Len())); err != nil {
+						return fmt.Errorf("partition %d: %w", p, err)
+					}
 					buf = append(buf, s)
 					return nil
 				})
@@ -317,6 +367,7 @@ func phaseOneParallel(db rangeScanner, n, parts, partSize int, opt Options, tran
 				}
 				err = ckpt.complete(p, global)
 				mu.Unlock()
+				led.release()
 				if err != nil {
 					errs[w] = err
 					return

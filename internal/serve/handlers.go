@@ -3,12 +3,16 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"negmine/internal/fault"
+	"negmine/internal/govern"
 	"negmine/internal/rulestore"
 )
 
@@ -116,10 +120,38 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// admissionClass maps endpoints to governance classes: /score and /reload
+// are the expensive work degraded mode sheds first; /healthz and /metrics
+// are exempt so operators can always see what an overloaded daemon is doing.
+func admissionClass(ep int) (class govern.Class, exempt bool) {
+	switch ep {
+	case epScore, epReload:
+		return govern.Expensive, false
+	case epHealthz, epMetrics:
+		return 0, true
+	default:
+		return govern.Cheap, false
+	}
+}
+
+// writeShed turns an admission rejection into the contract every client can
+// rely on under overload: 503 with a Retry-After hint, never a hang and
+// never a connection drop.
+func writeShed(w http.ResponseWriter, shed *govern.ShedError) {
+	secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, "overloaded: request shed (%s)", shed.Reason)
+}
+
 // instrument wraps every handler with the serving-lifecycle armor: metrics,
-// the optional per-request deadline, the serve.handler failpoint, and panic
-// recovery. A panicking handler produces a 500 (when nothing was written
-// yet), bumps the panics counter, and never takes the process down.
+// admission control, the POST body bound, the optional per-request deadline,
+// the serve.handler failpoint, and panic recovery. A panicking handler
+// produces a 500 (when nothing was written yet), bumps the panics counter,
+// and never takes the process down; a shed request produces a 503 with
+// Retry-After.
 func (s *Server) instrument(ep int, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -139,12 +171,45 @@ func (s *Server) instrument(ep int, next http.Handler) http.Handler {
 			}
 			s.metrics.observe(ep, time.Since(start), sw.status)
 		}()
+		if r.Method == http.MethodPost {
+			if limit := s.bodyLimit(); limit > 0 {
+				r.Body = http.MaxBytesReader(sw, r.Body, limit)
+			}
+		}
+		if s.gov != nil {
+			if class, exempt := admissionClass(ep); !exempt {
+				release, err := s.gov.Acquire(r.Context(), endpointNames[ep], class)
+				if err != nil {
+					var shed *govern.ShedError
+					if errors.As(err, &shed) {
+						s.metrics.recordShed()
+						writeShed(sw, shed)
+						return
+					}
+					writeError(sw, http.StatusServiceUnavailable, "admission: %v", err)
+					return
+				}
+				defer release()
+			}
+		}
 		if err := fault.Hit(PointHandler); err != nil {
 			writeError(sw, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// bodyLimit resolves the configured POST body bound (see WithMaxBodyBytes).
+func (s *Server) bodyLimit() int64 {
+	switch {
+	case s.maxBody > 0:
+		return s.maxBody
+	case s.maxBody < 0:
+		return 0
+	default:
+		return DefaultMaxBodyBytes
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -210,10 +275,17 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, `use POST /score with {"basket": [...]}`)
 		return
 	}
+	// The body is already bounded by instrument (http.MaxBytesReader).
 	var req scoreRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -259,6 +331,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST /reload")
+		return
+	}
+	// /reload takes no body, but clients send one anyway; drain it through
+	// the bound installed by instrument so an oversized payload gets a clean
+	// 413 instead of an unbounded read.
+	if _, err := io.Copy(io.Discard, r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"negmine/internal/govern"
 )
 
 // latency histogram bucket upper bounds. The last bucket is +Inf.
@@ -127,10 +129,16 @@ type Metrics struct {
 	lastReloadErr atomic.Value // string; "" when the last reload succeeded
 
 	panics atomic.Int64 // handler panics caught by the recovery middleware
+	sheds  atomic.Int64 // 503s produced by admission control
 
 	watchState      atomic.Value // string; "" until a watcher starts
 	watchFails      atomic.Int64 // consecutive reload failures seen by the watcher
 	watchIntervalNs atomic.Int64 // current poll interval
+
+	// governStats, when non-nil, snapshots the admission controller for the
+	// /metrics govern block. Set once at server construction, before any
+	// handler runs.
+	governStats func() govern.Stats
 
 	start time.Time
 }
@@ -170,6 +178,12 @@ func (m *Metrics) recordPanic() { m.panics.Add(1) }
 
 // Panics returns how many handler panics have been recovered.
 func (m *Metrics) Panics() int64 { return m.panics.Load() }
+
+// recordShed counts a request shed by admission control (a governed 503).
+func (m *Metrics) recordShed() { m.sheds.Add(1) }
+
+// Sheds returns how many requests admission control has shed.
+func (m *Metrics) Sheds() int64 { return m.sheds.Load() }
 
 // setWatch publishes the watcher's state machine (state name, consecutive
 // failures, current poll interval) for /metrics.
@@ -212,6 +226,16 @@ type metricsJSON struct {
 		SnapshotInfo
 		AgeSeconds float64 `json:"ageSeconds"`
 	} `json:"snapshot"`
+	// Govern is the admission-controller block: AIMD window, queue depth,
+	// degraded state and per-reason shed counters. Absent when no governor
+	// is installed.
+	Govern *governJSON `json:"govern,omitempty"`
+}
+
+// governJSON is the admission block of the /metrics document.
+type governJSON struct {
+	govern.Stats
+	ShedTotal int64 `json:"shedTotal"`
 }
 
 // WriteJSON renders the metrics (plus the current snapshot's info) as
@@ -247,6 +271,10 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 	if snap != nil {
 		doc.Snapshot.SnapshotInfo = snap.Info()
 		doc.Snapshot.AgeSeconds = snap.Age().Seconds()
+	}
+	if m.governStats != nil {
+		st := m.governStats()
+		doc.Govern = &governJSON{Stats: st, ShedTotal: st.Shed()}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"negmine/internal/fault"
+	"negmine/internal/govern"
 )
 
 // Failpoints in the serving lifecycle (see internal/fault). All are no-ops
@@ -44,7 +45,9 @@ type Server struct {
 	snap       atomic.Pointer[Snapshot]
 	metrics    *Metrics
 	logf       func(format string, args ...any)
-	reqTimeout time.Duration // per-request deadline (0 = none)
+	reqTimeout time.Duration      // per-request deadline (0 = none)
+	gov        *govern.Controller // admission control (nil = admit everything)
+	maxBody    int64              // POST body bound in bytes (0 = default, <0 = none)
 
 	reloadMu  sync.Mutex  // serializes loads; readers never touch it
 	reloading atomic.Bool // a reload is in flight (coalesces triggers)
@@ -70,6 +73,27 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// WithGovernor installs an admission controller in front of every handler:
+// /rules is admitted as cheap work, /score and /reload as expensive work
+// that degraded mode sheds first, and /healthz and /metrics bypass admission
+// entirely so operators can always see what an overloaded daemon is doing.
+// Shed requests get 503 with a Retry-After header. Nil (the default) admits
+// everything.
+func WithGovernor(c *govern.Controller) Option {
+	return func(s *Server) { s.gov = c }
+}
+
+// DefaultMaxBodyBytes bounds POST request bodies when WithMaxBodyBytes is
+// not used.
+const DefaultMaxBodyBytes int64 = 1 << 20
+
+// WithMaxBodyBytes bounds every POST request body with http.MaxBytesReader;
+// an oversized body gets 413. Zero (the default) selects
+// DefaultMaxBodyBytes; a negative value disables the bound.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBody = n }
+}
+
 // NewServer builds a server and performs the initial load synchronously —
 // the daemon refuses to start without a serveable snapshot.
 func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, error) {
@@ -83,6 +107,9 @@ func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, err
 	if s.logf == nil {
 		logger := log.New(os.Stderr, "negmined: ", log.LstdFlags)
 		s.logf = logger.Printf
+	}
+	if s.gov != nil {
+		s.metrics.governStats = s.gov.Stats
 	}
 	snap, err := s.loadChecked(ctx)
 	if err != nil {
@@ -119,6 +146,9 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Metrics exposes the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Governor exposes the installed admission controller (nil without one).
+func (s *Server) Governor() *govern.Controller { return s.gov }
 
 // Reload synchronously builds a fresh snapshot and swaps it in. On error
 // the current snapshot is left in place, the failure is counted in metrics

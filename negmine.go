@@ -38,6 +38,7 @@ import (
 	"negmine/internal/count"
 	"negmine/internal/datagen"
 	"negmine/internal/gen"
+	"negmine/internal/govern"
 	"negmine/internal/item"
 	"negmine/internal/negative"
 	"negmine/internal/partition"
@@ -112,10 +113,15 @@ type (
 	DataParams = datagen.Params
 
 	// CountOptions tunes support counting (parallelism, hash tree width,
-	// transaction transform, counting backend).
+	// transaction transform, counting backend, memory budget).
 	CountOptions = count.Options
 	// CountBackend selects the support-counting engine.
 	CountBackend = count.Backend
+	// MemBudget is a process-wide memory ledger that bounds mining's
+	// dominant allocations (bitmap matrices, hash trees, partition buffers).
+	// Set CountOptions.Mem; an exhausted budget degrades counting to
+	// cheaper engines and narrows partitioning before it ever fails.
+	MemBudget = govern.Budget
 )
 
 // Support-counting backends (set CountOptions.Backend; the default
@@ -130,6 +136,19 @@ const (
 // ParseCountBackend converts a backend flag value ("auto", "hashtree",
 // "bitmap") into a CountBackend.
 func ParseCountBackend(s string) (CountBackend, error) { return count.ParseBackend(s) }
+
+// NewMemBudget returns a memory budget capped at total bytes (≤ 0 =
+// unlimited, but reservations are still tracked).
+func NewMemBudget(total int64) *MemBudget { return govern.NewBudget(total) }
+
+// DefaultMemBudget sizes a budget to the process's detected memory limit
+// (GOMEMLIMIT, else the cgroup limit) with headroom for the runtime, or
+// unlimited when no limit is discoverable.
+func DefaultMemBudget() *MemBudget { return govern.DefaultBudget() }
+
+// ParseByteSize converts a human byte-size flag value ("512MiB", "2g",
+// "1048576") into bytes.
+func ParseByteSize(s string) (int64, error) { return govern.ParseBytes(s) }
 
 // Generalized mining algorithms (stage 1 of negative mining).
 const (
