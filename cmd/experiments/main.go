@@ -13,6 +13,10 @@
 //	experiments -overloadbench -serveout BENCH_serving.json
 //	                                # admission control: shed rate and admitted
 //	                                # latency at 1x/2x/4x the -max-rps budget
+//	experiments -ingestbench -serveout BENCH_serving.json
+//	                                # streaming ingest: durable append throughput
+//	                                # and delta refresh vs full re-mine at
+//	                                # 1%/10%/50% deltas
 //
 // -scale divides the transaction count (50,000 at scale 1) while keeping
 // the paper's 8,000-item universe, so relative supports — and hence every
@@ -63,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		sbenchOut = fs.String("serveout", "", "also write the -servebench results as JSON to this file (e.g. BENCH_serving.json)")
 		lookups   = fs.Int("lookups", 20000, "timed queries per -servebench run")
 		obench    = fs.Bool("overloadbench", false, "drive the governed daemon at 1x/2x/4x its -max-rps and record shed rate + admitted latency")
+		ibench    = fs.Bool("ingestbench", false, "measure segment-log append throughput and delta refresh vs full re-mine at 1%/10%/50% deltas")
 		maxRPS    = fs.Float64("maxrps", 200, "token-bucket rate the -overloadbench governor enforces (the daemon's -max-rps)")
 		overSec   = fs.Duration("overloadsec", 2*time.Second, "measurement window per -overloadbench load level")
 	)
@@ -90,9 +95,9 @@ func run(args []string, out io.Writer) error {
 		figs["5"], figs["6"], figs["7"] = true, true, true
 		tables["1"], tables["2"] = true, true
 	}
-	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench {
+	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench && !*ibench {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench or -all")
+		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench, -ingestbench or -all")
 	}
 
 	sups, err := parseFloats(*minsups)
@@ -286,12 +291,36 @@ func run(args []string, out io.Writer) error {
 		bench.PrintOverload(out, orows)
 		fmt.Fprintln(out)
 	}
-	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0) {
+	var irows []*bench.IngestBench
+	if *ibench {
+		fmt.Fprintln(out, "=== Streaming ingest — append throughput and delta refresh vs full re-mine ===")
+		pct := 2.0
+		if len(sups) > 0 {
+			pct = sups[0]
+		}
+		ds, err := need("Short")
+		if err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "negmine-ingestbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		row, err := bench.RunIngestBench(ds, pct, *minRI, gen.Cumulate, *maxK, *parallel, dir)
+		if err != nil {
+			return err
+		}
+		irows = append(irows, row)
+		bench.PrintIngest(out, irows)
+		fmt.Fprintln(out)
+	}
+	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0 || len(irows) > 0) {
 		f, err := os.Create(*sbenchOut)
 		if err != nil {
 			return err
 		}
-		if err := bench.WriteServingJSON(f, *scale, srows, orows); err != nil {
+		if err := bench.WriteServingJSON(f, *scale, srows, orows, irows); err != nil {
 			f.Close()
 			return err
 		}

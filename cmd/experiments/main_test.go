@@ -160,3 +160,61 @@ func TestParseFloats(t *testing.T) {
 		t.Error("bad float accepted")
 	}
 }
+
+func TestIngestBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest benchmark in -short mode")
+	}
+	var out bytes.Buffer
+	outPath := t.TempDir() + "/BENCH_serving.json"
+	err := run([]string{"-ingestbench", "-scale", "100", "-minsups", "2", "-serveout", outPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Streaming ingest", "append", "delta", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Ingest []struct {
+			Dataset  string  `json:"dataset"`
+			Txns     int     `json:"txns"`
+			AppendPS float64 `json:"append_txns_per_second"`
+			Levels   []struct {
+				DeltaPct    float64 `json:"delta_pct"`
+				DeltaTxns   int     `json:"delta_txns"`
+				Refresh     float64 `json:"delta_refresh_seconds"`
+				Full        float64 `json:"full_remine_seconds"`
+				NewSegments int     `json:"new_segments"`
+			} `json:"delta_levels"`
+		} `json:"ingest"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad BENCH_serving.json: %v", err)
+	}
+	if len(doc.Ingest) != 1 || len(doc.Ingest[0].Levels) != 3 {
+		t.Fatalf("ingest section = %+v", doc.Ingest)
+	}
+	row := doc.Ingest[0]
+	if row.Dataset != "Short" || row.Txns == 0 || row.AppendPS <= 0 {
+		t.Fatalf("ingest row = %+v", row)
+	}
+	if row.Levels[0].DeltaPct != 1 || row.Levels[1].DeltaPct != 10 || row.Levels[2].DeltaPct != 50 {
+		t.Fatalf("delta levels = %+v", row.Levels)
+	}
+	for _, l := range row.Levels {
+		if l.DeltaTxns == 0 || l.Refresh <= 0 || l.Full <= 0 {
+			t.Errorf("degenerate delta level: %+v", l)
+		}
+		// Exactly the delta was new: the base segments stayed cached.
+		if l.NewSegments != 1 {
+			t.Errorf("%g%% delta phase-I mined %d segments, want 1", l.DeltaPct, l.NewSegments)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"negmine"
+	"negmine/internal/incr"
+	"negmine/internal/item"
+	"negmine/internal/seglog"
+	"negmine/internal/serve"
+)
+
+// ingestController is the streaming-mode backend: it owns the segment log
+// and the incremental miner, implements serve.IngestSink for POST /ingest,
+// and supplies the LoadFunc whose refreshes the auto re-mine triggers fire.
+//
+// The taxonomy (and its dictionary) is loaded once at startup and never
+// reloaded: transaction ids in the log are only meaningful against the
+// dictionary they were interned into, and a read-only dictionary is what
+// makes concurrent /ingest and snapshot queries safe without locking.
+type ingestController struct {
+	log   *seglog.Log
+	miner *incr.Miner
+	tax   *negmine.Taxonomy
+	opt   negmine.NegativeOptions
+
+	srv        atomic.Pointer[serve.Server] // set after NewServer (attach)
+	pending    atomic.Int64                 // txns appended since last refresh start
+	refreshes  atomic.Int64                 // completed refreshes
+	remineTxns int64                        // pending threshold that triggers a re-mine (0 = off)
+}
+
+// newIngestController opens (or creates) the segment log, seeds it from
+// dataPath when the log is empty and a seed is given, and returns the
+// controller ready to be wired into a Server.
+func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns int) (*ingestController, error) {
+	tax, err := loadTaxonomy(taxPath)
+	if err != nil {
+		return nil, err
+	}
+	log, err := seglog.Open(dir, seglog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c := &ingestController{
+		log:        log,
+		miner:      incr.New(tax, opt),
+		tax:        tax,
+		opt:        opt,
+		remineTxns: int64(remineTxns),
+	}
+	if dataPath != "" && log.Count() == 0 {
+		if err := c.seed(dataPath); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("seeding %s from %s: %w", dir, dataPath, err)
+		}
+	}
+	// An empty log (no seed) is fine: the daemon starts with an empty rule
+	// set and /ingest fills the log from scratch.
+	return c, nil
+}
+
+// seed imports a transaction file into the empty log in sealed batches, so
+// the first refresh starts from reasonably sized partitions.
+func (c *ingestController) seed(dataPath string) error {
+	db, err := loadData(dataPath, c.tax.Dictionary())
+	if err != nil {
+		return err
+	}
+	const batch = 4096
+	buf := make([]item.Itemset, 0, batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, _, err := c.log.Append(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		return c.log.Seal()
+	}
+	err = db.Scan(func(tx negmine.Transaction) error {
+		buf = append(buf, tx.Items.Clone())
+		if len(buf) == batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// attach hands the controller the server whose reloads it triggers. Called
+// once, after NewServer and before the listener accepts traffic.
+func (c *ingestController) attach(srv *serve.Server) { c.srv.Store(srv) }
+
+// Close closes the underlying segment log.
+func (c *ingestController) Close() error { return c.log.Close() }
+
+// load is the streaming-mode LoadFunc: an incremental refresh over the log.
+func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
+	// Best effort: appends racing with the refresh may be sealed into it and
+	// still counted pending until the next refresh — pending only drives
+	// triggers and metrics, never correctness.
+	c.pending.Store(0)
+	res, err := c.miner.Refresh(c.log)
+	if err != nil {
+		return nil, err
+	}
+	rep := negmine.BuildNegativeReport(res, c.opt.MinSupport, c.opt.MinRI, c.tax.Name)
+	st := negmine.RuleStoreFromReport(rep)
+	c.refreshes.Add(1)
+	meta := serve.Meta{
+		Source:     "ingest " + c.log.Dir(),
+		MinSupport: c.opt.MinSupport,
+		MinRI:      c.opt.MinRI,
+	}
+	return serve.BuildSnapshot(st, c.tax, meta), nil
+}
+
+// Ingest implements serve.IngestSink: name resolution against the read-only
+// dictionary, a durable append, and the transaction-count re-mine trigger.
+func (c *ingestController) Ingest(ctx context.Context, baskets [][]string) (serve.IngestResult, error) {
+	dict := c.tax.Dictionary()
+	sets := make([]item.Itemset, len(baskets))
+	for i, b := range baskets {
+		items := make([]item.Item, len(b))
+		for j, name := range b {
+			id, ok := dict.Lookup(name)
+			if !ok {
+				return serve.IngestResult{}, fmt.Errorf("%w: basket %d: unknown item %q", serve.ErrIngestRejected, i, name)
+			}
+			items[j] = id
+		}
+		sets[i] = item.New(items...)
+	}
+	first, last, err := c.log.Append(sets)
+	if err != nil {
+		return serve.IngestResult{}, err
+	}
+	res := serve.IngestResult{FirstTID: first, LastTID: last, Accepted: len(sets)}
+	p := c.pending.Add(int64(len(sets)))
+	if c.remineTxns > 0 && p >= c.remineTxns {
+		if srv := c.srv.Load(); srv != nil {
+			// The reload outlives this request, like POST /reload's 202 path.
+			res.Refreshed = srv.TriggerReload(context.Background())
+		}
+	}
+	return res, nil
+}
+
+// Stats implements serve.IngestSink for the /metrics ingest block.
+func (c *ingestController) Stats() serve.IngestStats {
+	ls := c.log.Stats()
+	ms := c.miner.LastStats()
+	return serve.IngestStats{
+		Segments:               ls.Segments,
+		SealedTxns:             ls.SealedTxns,
+		SealedBytes:            ls.SealedBytes,
+		ActiveTxns:             ls.ActiveTxns,
+		TxnsAppended:           ls.TxnsAppended,
+		Seals:                  ls.Seals,
+		Compactions:            ls.Compactions,
+		PendingTxns:            c.pending.Load(),
+		Refreshes:              c.refreshes.Load(),
+		LastRefreshSeconds:     ms.Duration.Seconds(),
+		LastRefreshNewSegments: ms.NewSegments,
+		LastRefreshOldScans:    ms.OldSegmentScans,
+	}
+}
+
+// remineLoop triggers a background refresh every interval while there is
+// pending data, until ctx is cancelled.
+func (c *ingestController) remineLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if c.pending.Load() == 0 {
+				continue
+			}
+			if srv := c.srv.Load(); srv != nil {
+				srv.TriggerReload(ctx)
+			}
+		}
+	}
+}

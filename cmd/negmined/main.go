@@ -3,7 +3,7 @@
 // queries over HTTP, re-mining (or re-reading) and atomically hot-swapping
 // the snapshot without ever blocking readers.
 //
-// Two source modes:
+// Three source modes:
 //
 //	negmined -report rules.json -tax taxonomy.txt
 //	    serve a report previously written by `negmine -format json`
@@ -12,6 +12,12 @@
 //	negmined -data baskets.txt -tax taxonomy.txt -minsup 0.02 -minri 0.5
 //	    mine at startup with the full pipeline; /reload re-mines from the
 //	    (possibly updated) data file
+//
+//	negmined -ingest-dir ./log -tax taxonomy.txt [-data seed.txt]
+//	    streaming mode: transactions live in a durable segment log, POST
+//	    /ingest appends to it, and /reload (or the -remine-every /
+//	    -remine-txns triggers) re-mines incrementally — only segments new
+//	    since the last refresh are scanned. -data seeds an empty log once.
 //
 // Endpoints:
 //
@@ -24,6 +30,8 @@
 //	GET  /metrics                              request counts, latency
 //	                                           histograms, reload state
 //	POST /reload[?wait=1]                      rebuild + swap the snapshot
+//	POST /ingest {"baskets":[[...],...]}       append transactions durably
+//	                                           (streaming mode only)
 //
 // Flags:
 //
@@ -44,6 +52,9 @@
 //	-max-body size    POST body bound (default 1MiB; "off" disables)
 //	-mem-budget size  re-mining memory budget (default auto: 80% of the
 //	                  GOMEMLIMIT/cgroup limit; "off" disables)
+//	-ingest-dir dir   segment-log directory; enables streaming mode
+//	-remine-every d   re-mine whenever pending data is this old (streaming)
+//	-remine-txns n    re-mine after n pending transactions (streaming)
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to -drain to finish, and the process exits 0. A
@@ -116,6 +127,9 @@ type config struct {
 
 	gov     *govern.Controller // admission control (nil = admit everything)
 	maxBody int64              // POST body bound (0 = serve default, <0 = off)
+
+	ingest      *ingestController // streaming mode (nil = file modes)
+	remineEvery time.Duration     // periodic re-mine trigger (streaming)
 }
 
 func run(args []string, out io.Writer) error {
@@ -126,12 +140,24 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := serve.NewServer(ctx, cfg.loadFunc,
+	opts := []serve.Option{
 		serve.WithRequestTimeout(cfg.reqTimeout),
 		serve.WithGovernor(cfg.gov),
-		serve.WithMaxBodyBytes(cfg.maxBody))
+		serve.WithMaxBodyBytes(cfg.maxBody),
+	}
+	if cfg.ingest != nil {
+		defer cfg.ingest.Close()
+		opts = append(opts, serve.WithIngest(cfg.ingest))
+	}
+	srv, err := serve.NewServer(ctx, cfg.loadFunc, opts...)
 	if err != nil {
 		return err
+	}
+	if cfg.ingest != nil {
+		cfg.ingest.attach(srv)
+		if cfg.remineEvery > 0 {
+			go cfg.ingest.remineLoop(ctx, cfg.remineEvery)
+		}
 	}
 	if cfg.watch {
 		go srv.WatchWith(ctx, cfg.source, serve.WatchConfig{Interval: cfg.poll})
@@ -206,6 +232,10 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		maxQueue  = fs.Int("max-queue", 0, "bounded admission-queue depth; requires -max-concurrent (0 = 4x -max-concurrent)")
 		maxBody   = fs.String("max-body", "", "POST body size bound, e.g. 1MiB (empty = 1MiB, off = unbounded)")
 		memBudget = fs.String("mem-budget", "auto", "re-mining memory budget, e.g. 2GiB (auto = 80% of GOMEMLIMIT/cgroup limit, off = unlimited)")
+
+		ingestDir   = fs.String("ingest-dir", "", "segment-log directory; enables streaming mode with POST /ingest")
+		remineEvery = fs.Duration("remine-every", 0, "re-mine whenever pending ingested data is this old (0 = off; streaming mode)")
+		remineTxns  = fs.Int("remine-txns", 0, "re-mine after this many pending ingested transactions (0 = off; streaming mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -213,8 +243,29 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	if *taxPath == "" {
 		return nil, usageErrf(fs, "-tax is required")
 	}
-	if (*repPath == "") == (*dataPath == "") {
-		return nil, usageErrf(fs, "exactly one of -report or -data is required")
+	if *ingestDir != "" {
+		// Streaming mode: -data is an optional one-time seed, -report makes
+		// no sense (there is nothing to re-mine a report from), and -watch
+		// would poll a directory our own appends keep touching.
+		if *repPath != "" {
+			return nil, usageErrf(fs, "-ingest-dir and -report are mutually exclusive")
+		}
+		if *watch {
+			return nil, usageErrf(fs, "-watch cannot be combined with -ingest-dir (use -remine-every)")
+		}
+		if *remineEvery < 0 {
+			return nil, usageErrf(fs, "-remine-every = %v, want ≥ 0", *remineEvery)
+		}
+		if *remineTxns < 0 {
+			return nil, usageErrf(fs, "-remine-txns = %d, want ≥ 0", *remineTxns)
+		}
+	} else {
+		if *remineEvery != 0 || *remineTxns != 0 {
+			return nil, usageErrf(fs, "-remine-every/-remine-txns require -ingest-dir")
+		}
+		if (*repPath == "") == (*dataPath == "") {
+			return nil, usageErrf(fs, "exactly one of -report or -data is required")
+		}
 	}
 	for _, d := range []struct {
 		name string
@@ -316,6 +367,18 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	opt.Gen.Count.Backend = cb
 	opt.Count.Mem = mem
 	opt.Gen.Count.Mem = mem
+
+	if *ingestDir != "" {
+		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ingest = ctrl
+		cfg.remineEvery = *remineEvery
+		cfg.source = *ingestDir
+		cfg.loadFunc = ctrl.load
+		return cfg, nil
+	}
 
 	cfg.source = *dataPath
 	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt)

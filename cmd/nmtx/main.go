@@ -6,6 +6,14 @@
 //	nmtx -convert out.txt data.nmtx    # binary → integer basket text
 //	nmtx -pack out.nmtx.gz data.txt    # basket text → (gzipped) binary
 //
+// With -log DIR the tool operates on a streaming segment log (the negmined
+// -ingest-dir format) instead of a single file:
+//
+//	nmtx -log dir -info                # manifest + per-segment summary
+//	nmtx -log dir -append data.nmtx    # append a file's transactions
+//	nmtx -log dir -seal                # seal the active segment
+//	nmtx -log dir -compact             # merge small adjacent segments
+//
 // Packed .nmtx files are the -data input of the mining pipeline: `negmine
 // -data out.nmtx -format json` writes the report JSON that the cmd/negmined
 // daemon serves (`negmined -report rules.json`, or `negmined -data out.nmtx`
@@ -21,6 +29,8 @@ import (
 	"strings"
 
 	"negmine"
+	"negmine/internal/item"
+	"negmine/internal/seglog"
 )
 
 func main() {
@@ -38,6 +48,12 @@ func run(args []string, out io.Writer) error {
 		head    = fs.Int("head", 0, "print the first N baskets")
 		convert = fs.String("convert", "", "write the file as integer basket text to this path")
 		pack    = fs.String("pack", "", "write the (text) input as binary to this path (.gz for gzip)")
+
+		logDir  = fs.String("log", "", "operate on this segment-log directory (negmined -ingest-dir format)")
+		appendF = fs.String("append", "", "append this file's transactions to the -log")
+		seal    = fs.Bool("seal", false, "seal the -log's active segment")
+		compact = fs.Bool("compact", false, "merge small adjacent sealed segments in the -log")
+		info    = fs.Bool("info", false, "print the -log's manifest and per-segment summary")
 	)
 	defaultUsage := fs.Usage
 	fs.Usage = func() {
@@ -49,6 +65,17 @@ and "negmined -data FILE.nmtx" mines and serves it directly.`)
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *logDir != "" {
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return fmt.Errorf("-log mode takes no positional arguments")
+		}
+		return runLog(out, *logDir, *appendF, *seal, *compact, *info)
+	}
+	if *appendF != "" || *seal || *compact || *info {
+		fs.Usage()
+		return fmt.Errorf("-append/-seal/-compact/-info require -log")
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -116,6 +143,105 @@ and "negmined -data FILE.nmtx" mines and serves it directly.`)
 }
 
 var errEnough = fmt.Errorf("enough")
+
+// runLog is the -log mode: inspect and maintain a streaming segment log.
+// Actions compose left to right (append, then seal, then compact); with no
+// action, or with -info, the manifest summary is printed.
+func runLog(out io.Writer, dir, appendF string, seal, compact, info bool) error {
+	log, err := seglog.Open(dir, seglog.Options{})
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+
+	did := false
+	if appendF != "" {
+		did = true
+		db, err := open(appendF)
+		if err != nil {
+			return err
+		}
+		const batch = 4096
+		buf := make([]item.Itemset, 0, batch)
+		var first, last int64
+		var total int
+		flush := func() error {
+			if len(buf) == 0 {
+				return nil
+			}
+			lo, hi, err := log.Append(buf)
+			if err != nil {
+				return err
+			}
+			if total == 0 {
+				first = lo
+			}
+			last = hi
+			total += len(buf)
+			buf = buf[:0]
+			return nil
+		}
+		err = db.Scan(func(tx negmine.Transaction) error {
+			buf = append(buf, tx.Items.Clone())
+			if len(buf) == batch {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		if total == 0 {
+			fmt.Fprintf(out, "%s: no transactions to append\n", appendF)
+		} else {
+			fmt.Fprintf(out, "appended %d transactions (TIDs %d..%d)\n", total, first, last)
+		}
+	}
+	if seal {
+		did = true
+		if err := log.Seal(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "sealed active segment")
+	}
+	if compact {
+		did = true
+		merged, err := log.Compact()
+		if err != nil {
+			return err
+		}
+		if merged {
+			fmt.Fprintln(out, "compacted a run of small segments")
+		} else {
+			fmt.Fprintln(out, "nothing to compact")
+		}
+	}
+	if info || !did {
+		printLogInfo(out, dir, log)
+	}
+	return nil
+}
+
+func printLogInfo(out io.Writer, dir string, log *seglog.Log) {
+	st := log.Stats()
+	fmt.Fprintf(out, "%s:\n", dir)
+	fmt.Fprintf(out, "  sealed segments: %d (%d transactions, %d bytes)\n",
+		st.Segments, st.SealedTxns, st.SealedBytes)
+	fmt.Fprintf(out, "  active segment:  %d transactions (%d bytes)\n",
+		st.ActiveTxns, st.ActiveBytes)
+	fmt.Fprintf(out, "  next TID:        %d\n", st.NextTID)
+	if st.RecoveredDrop > 0 {
+		fmt.Fprintf(out, "  torn bytes dropped at recovery: %d\n", st.RecoveredDrop)
+	}
+	for _, v := range log.SealedViews() {
+		e := v.Entry
+		fmt.Fprintf(out, "  seg-%08d: %6d txns, %8d bytes, TIDs %d..%d, crc %08x\n",
+			e.ID, e.Txns, e.Bytes, e.MinTID, e.MaxTID, e.CRC)
+	}
+}
 
 // open loads path as binary (.nmtx/.nmtx.gz) or integer basket text.
 func open(path string) (negmine.DB, error) {

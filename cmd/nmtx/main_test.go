@@ -109,3 +109,129 @@ func TestErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// logFixture writes a small integer-basket text file the -log append path
+// can consume.
+func logFixture(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baskets.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLogAppendSealInfo(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	data := fixture(t) // 3 transactions, binary
+
+	var out bytes.Buffer
+	if err := run([]string{"-log", dir, "-append", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "appended 3 transactions (TIDs 1..3)") {
+		t.Errorf("append output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-log", dir, "-seal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sealed active segment") {
+		t.Errorf("seal output:\n%s", out.String())
+	}
+
+	// A bare -log DIR (no action) prints the summary; each run call is a
+	// fresh Open, so this also proves the appends survived a close.
+	out.Reset()
+	if err := run([]string{"-log", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"sealed segments: 1 (3 transactions",
+		"active segment:  0 transactions",
+		"next TID:        4",
+		"TIDs 1..3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("info missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLogAppendText(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	txt := logFixture(t, "1 2\n3\n")
+	var out bytes.Buffer
+	if err := run([]string{"-log", dir, "-append", txt, "-seal", "-info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"appended 2 transactions (TIDs 1..2)", "sealed active segment", "next TID:        3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("combined run missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLogCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	txt := logFixture(t, "1 2\n2 3\n")
+	var out bytes.Buffer
+	// Two sealed segments, both far below the compaction threshold.
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-log", dir, "-append", txt, "-seal"}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-log", dir, "-compact"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "compacted a run of small segments") {
+		t.Errorf("compact output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-log", dir, "-compact", "-info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "nothing to compact") {
+		t.Errorf("second compact output:\n%s", s)
+	}
+	for _, want := range []string{"sealed segments: 1 (4 transactions", "TIDs 1..4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("post-compact info missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLogEmptyAppend(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	txt := logFixture(t, "")
+	var out bytes.Buffer
+	if err := run([]string{"-log", dir, "-append", txt}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no transactions to append") {
+		t.Errorf("empty append output:\n%s", out.String())
+	}
+}
+
+func TestLogFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seal"}, &out); err == nil || !strings.Contains(err.Error(), "require -log") {
+		t.Errorf("-seal without -log: %v", err)
+	}
+	if err := run([]string{"-info"}, &out); err == nil || !strings.Contains(err.Error(), "require -log") {
+		t.Errorf("-info without -log: %v", err)
+	}
+	dir := filepath.Join(t.TempDir(), "log")
+	if err := run([]string{"-log", dir, "extra.nmtx"}, &out); err == nil || !strings.Contains(err.Error(), "no positional arguments") {
+		t.Errorf("-log with positional arg: %v", err)
+	}
+	if err := run([]string{"-log", dir, "-append", "/does/not/exist.txt"}, &out); err == nil {
+		t.Error("-append of a missing file accepted")
+	}
+}

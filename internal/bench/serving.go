@@ -162,8 +162,8 @@ func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
 }
 
 // WriteServingJSON renders serving benchmarks (and, when run, the overload
-// benchmark) as the indented JSON stored in BENCH_serving.json.
-func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench) error {
+// and ingest benchmarks) as the indented JSON stored in BENCH_serving.json.
+func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench, ingest []*IngestBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
@@ -171,11 +171,13 @@ func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*
 		Scale       int              `json:"scale"`
 		Benches     []*ServingBench  `json:"benches"`
 		Overload    []*OverloadBench `json:"overload,omitempty"`
+		Ingest      []*IngestBench   `json:"ingest,omitempty"`
 	}{
-		Description: "Serving layer: snapshot build time and QueryItem/Score throughput and latency on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench)",
+		Description: "Serving layer: snapshot build time and QueryItem/Score throughput and latency on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench)",
 		Scale:       scale,
 		Benches:     rows,
 		Overload:    overload,
+		Ingest:      ingest,
 	})
 }
 

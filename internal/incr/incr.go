@@ -1,0 +1,311 @@
+// Package incr refreshes negative-rule results incrementally over a
+// segmented transaction log (internal/seglog), treating each sealed
+// segment as one partition of the Partition algorithm the paper's authors
+// built stage 1 on.
+//
+// A Miner caches two things per sealed segment: the segment's locally
+// large itemsets (phase I) and the segment's exact support counts for
+// every itemset it has ever been asked about. Both are immutable facts
+// about an immutable file, so a refresh only scans segments it has not
+// seen before — phase I mines the new segments, the global candidate
+// union is re-counted from the caches, and cache misses (a candidate
+// first seen now that an old segment never reported) trigger targeted
+// counting scans of exactly the segments missing it. When the delta's
+// item distribution matches the base — the steady state of a live feed —
+// candidate sets are stable, there are no misses, and the refresh cost is
+// proportional to the new data only.
+//
+// Stages 2 and 3 (negative candidate generation, counting, rule
+// extraction) run through negative.MineWithCounts with a CountFunc backed
+// by the same per-segment caches, so a refresh produces exactly the rule
+// set a batch re-mine of the whole log would: both paths execute the same
+// stage-2/3 code over equal stage-1 results and exact counts.
+package incr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"negmine/internal/apriori"
+	"negmine/internal/count"
+	"negmine/internal/fault"
+	"negmine/internal/item"
+	"negmine/internal/negative"
+	"negmine/internal/partition"
+	"negmine/internal/seglog"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// PointMerge is the failpoint (see internal/fault) evaluated after the
+// per-segment phase but before the global merge and stage-2/3 run.
+const PointMerge = "incr.merge"
+
+// RefreshStats describes what one Refresh actually did.
+type RefreshStats struct {
+	// Segments and N are the sealed segment and transaction totals the
+	// refresh mined over.
+	Segments int
+	N        int
+	// NewSegments is how many segments were phase-I mined this refresh
+	// (segments not in the cache — new or freshly compacted).
+	NewSegments int
+	// CountScans is the number of per-segment counting scans this refresh
+	// issued; OldSegmentScans is the subset that hit segments already
+	// cached before the refresh began — zero when the candidate sets were
+	// stable, the "only new segments scanned" property.
+	CountScans      int
+	OldSegmentScans int
+	// CacheHits and CacheMisses count per-(segment, itemset) support
+	// lookups during the counting phases.
+	CacheHits   int
+	CacheMisses int
+	// Duration is the refresh wall time.
+	Duration time.Duration
+}
+
+// segCache is everything the Miner remembers about one sealed segment.
+type segCache struct {
+	txns   int
+	local  []item.Itemset   // locally large itemsets (phase I result)
+	counts map[item.Key]int // exact support counts, by itemset key
+}
+
+// Miner incrementally mines a segment log. The zero value is not usable;
+// see New. A Miner is safe for concurrent use, but refreshes serialize.
+type Miner struct {
+	tax *taxonomy.Taxonomy
+	opt negative.Options
+
+	mu    sync.Mutex
+	segs  map[int64]*segCache
+	stats RefreshStats // last refresh
+}
+
+// New returns a Miner refreshing with the given taxonomy and mining
+// options (the same Options a batch negative.Mine call would take; the
+// Algorithm field is ignored — incremental refresh always follows the
+// Improved schedule).
+func New(tax *taxonomy.Taxonomy, opt negative.Options) *Miner {
+	return &Miner{tax: tax, opt: opt, segs: map[int64]*segCache{}}
+}
+
+// LastStats returns the statistics of the most recent Refresh.
+func (m *Miner) LastStats() RefreshStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Refresh seals the log's active segment and mines the complete log,
+// reusing every cached per-segment result. The returned Result is
+// identical to negative.Mine over the same transactions.
+func (m *Miner) Refresh(log *seglog.Log) (*negative.Result, error) {
+	if err := log.Seal(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	rs := &refreshState{known: map[int64]bool{}}
+	st := &rs.st
+
+	views := log.SealedViews()
+	live := make(map[int64]bool, len(views))
+	for _, v := range views {
+		live[v.Entry.ID] = true
+		st.N += v.Entry.Txns
+	}
+	st.Segments = len(views)
+	// Drop caches of segments that no longer exist (compacted away).
+	for id := range m.segs {
+		if !live[id] {
+			delete(m.segs, id)
+		}
+	}
+	for id := range m.segs {
+		rs.known[id] = true
+	}
+
+	// Phase I on segments we have not seen: buffer, extend, mine locally.
+	minSup := m.opt.MinSupport
+	for _, v := range views {
+		if _, ok := m.segs[v.Entry.ID]; ok {
+			continue
+		}
+		st.NewSegments++
+		part := make([]item.Itemset, 0, v.Entry.Txns)
+		err := v.DB.Scan(func(tx txdb.Transaction) error {
+			part = append(part, m.tax.Extend(tx.Items))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc := &segCache{txns: v.Entry.Txns, counts: map[item.Key]int{}}
+		sc.local = partition.LocallyLarge(part, minSup, m.opt.Gen.MaxK, m.tax)
+		// Phase I already knows these sets' exact local counts are at least
+		// the local minimum, but not their values; count them now while the
+		// segment is hot so later refreshes never return to it.
+		if err := m.countInto(v, sc, sc.local, rs); err != nil {
+			return nil, err
+		}
+		m.segs[v.Entry.ID] = sc
+	}
+
+	if err := fault.Hit(PointMerge); err != nil {
+		return nil, fmt.Errorf("incr: %w", err)
+	}
+
+	// Merge: the union of locally large itemsets is a superset of the
+	// globally large ones; count the union exactly everywhere and keep the
+	// sets meeting the global threshold, assembling the result exactly as
+	// partition.Mine (and therefore gen.Mine) would.
+	union := map[item.Key]item.Itemset{}
+	for _, sc := range m.segs {
+		for _, s := range sc.local {
+			union[s.Key()] = s
+		}
+	}
+	cands := make([]item.Itemset, 0, len(union))
+	for _, s := range union {
+		cands = append(cands, s)
+	}
+	counts, err := m.countEverywhere(views, cands, rs)
+	if err != nil {
+		return nil, err
+	}
+	large := &apriori.Result{
+		Table:    item.NewSupportTable(st.N),
+		N:        st.N,
+		MinCount: apriori.MinCount(minSup, st.N),
+	}
+	bySize := map[int][]item.CountedSet{}
+	maxK := 0
+	for i, s := range cands {
+		if counts[i] >= large.MinCount {
+			bySize[s.Len()] = append(bySize[s.Len()], item.CountedSet{Set: s, Count: counts[i]})
+			if s.Len() > maxK {
+				maxK = s.Len()
+			}
+		}
+	}
+	for k := 1; k <= maxK; k++ {
+		level := bySize[k]
+		if len(level) == 0 {
+			break // L_k empty ⇒ all longer levels empty too
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i].Set.Compare(level[j].Set) < 0 })
+		large.Levels = append(large.Levels, level)
+		for _, cs := range level {
+			large.Table.Put(cs.Set, cs.Count)
+		}
+	}
+
+	// Stages 2 and 3 through the shared seam, counting from the caches.
+	opt := m.opt
+	opt.Algorithm = negative.Improved
+	res, err := negative.MineWithCounts(large, m.tax, opt, func(groups [][]item.Itemset, _ []count.TransformInto) ([][]int, error) {
+		out := make([][]int, len(groups))
+		for gi, g := range groups {
+			c, err := m.countEverywhere(views, g, rs)
+			if err != nil {
+				return nil, err
+			}
+			out[gi] = c
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Duration = time.Since(start)
+	m.stats = *st
+	return res, nil
+}
+
+// refreshState carries one refresh's statistics plus the set of segment
+// ids that were already cached when the refresh began — a counting scan
+// against one of those is old-segment work the steady state avoids.
+type refreshState struct {
+	st    RefreshStats
+	known map[int64]bool
+}
+
+// countEverywhere returns, for each set, its exact support count over all
+// sealed segments, filling per-segment cache misses with targeted counting
+// scans.
+func (m *Miner) countEverywhere(views []seglog.SegmentView, sets []item.Itemset, rs *refreshState) ([]int, error) {
+	total := make([]int, len(sets))
+	for _, v := range views {
+		sc := m.segs[v.Entry.ID]
+		var missing []item.Itemset
+		for _, s := range sets {
+			if _, ok := sc.counts[s.Key()]; !ok {
+				missing = append(missing, s)
+			}
+		}
+		rs.st.CacheHits += len(sets) - len(missing)
+		if len(missing) > 0 {
+			if err := m.countInto(v, sc, missing, rs); err != nil {
+				return nil, err
+			}
+		}
+		for i, s := range sets {
+			c, ok := sc.counts[s.Key()]
+			if !ok {
+				return nil, fmt.Errorf("incr: segment %d: count for %v missing after scan", v.Entry.ID, s)
+			}
+			total[i] += c
+		}
+	}
+	return total, nil
+}
+
+// countInto counts sets exactly over one segment and caches the results.
+// Counting is done under the full ancestor extension; for any itemset that
+// is exactly the count a gen.ExtendTransform-restricted pass would produce
+// (a set's own items are always inside the restriction's used set).
+func (m *Miner) countInto(v seglog.SegmentView, sc *segCache, sets []item.Itemset, rs *refreshState) error {
+	if len(sets) == 0 {
+		return nil
+	}
+	rs.st.CountScans++
+	rs.st.CacheMisses += len(sets)
+	if rs.known[v.Entry.ID] {
+		rs.st.OldSegmentScans++
+	}
+	bySize := map[int][]item.Itemset{}
+	maxK := 0
+	for _, s := range sets {
+		bySize[s.Len()] = append(bySize[s.Len()], s)
+		if s.Len() > maxK {
+			maxK = s.Len()
+		}
+	}
+	var sizes []int
+	for k := 1; k <= maxK; k++ {
+		if len(bySize[k]) > 0 {
+			sizes = append(sizes, k)
+		}
+	}
+	groups := make([][]item.Itemset, len(sizes))
+	for gi, k := range sizes {
+		groups[gi] = bySize[k]
+	}
+	cnt := m.opt.Count
+	cnt.TransformInto = m.tax.ExtendInto
+	cnt.Tax = m.tax
+	counts, err := count.Multi(v.DB, groups, cnt)
+	if err != nil {
+		return err
+	}
+	for gi := range groups {
+		for j, s := range groups[gi] {
+			sc.counts[s.Key()] = counts[gi][j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package incr
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"negmine/internal/datagen"
+	"negmine/internal/item"
+	"negmine/internal/negative"
+	"negmine/internal/report"
+	"negmine/internal/seglog"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// testData generates a small synthetic taxonomy + basket stream.
+func testData(t testing.TB, n int, seed int64) (*taxonomy.Taxonomy, []item.Itemset) {
+	t.Helper()
+	p := datagen.Scaled(datagen.Short(), 50)
+	p.NumTransactions = n
+	p.Seed = seed
+	tax, db, err := datagen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baskets []item.Itemset
+	if err := db.Scan(func(tx txdb.Transaction) error {
+		baskets = append(baskets, tx.Items.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tax, baskets
+}
+
+// miningOpts uses a support floor high enough that even the smallest
+// segment a test seals keeps a meaningful local threshold: Partition's
+// phase I degenerates when ceil(minSup·|segment|) approaches 1 (every
+// subset of every basket is locally large), which is the documented reason
+// segments must be sized sensibly, not confetti.
+func miningOpts() negative.Options {
+	return negative.Options{MinSupport: 0.15, MinRI: 0.3}
+}
+
+// batchMine runs the batch Improved pipeline over the same transactions the
+// log holds.
+func batchMine(t *testing.T, log *seglog.Log, tax *taxonomy.Taxonomy) *negative.Result {
+	t.Helper()
+	var txs []txdb.Transaction
+	if err := log.Scan(func(tx txdb.Transaction) error {
+		txs = append(txs, txdb.Transaction{TID: tx.TID, Items: tx.Items.Clone()})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := txdb.NewMemDB(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := negative.Mine(db, tax, miningOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// reportBytes renders a result to the canonical JSON report.
+func reportBytes(t *testing.T, res *negative.Result) []byte {
+	t.Helper()
+	opt := miningOpts()
+	var buf bytes.Buffer
+	name := func(x item.Item) string { return fmt.Sprintf("i%d", int(x)) }
+	if err := report.WriteNegativeJSON(&buf, res, opt.MinSupport, opt.MinRI, name); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fillLog appends baskets in batches and seals every sealEvery batches.
+func fillLog(t *testing.T, log *seglog.Log, baskets []item.Itemset, batch, sealEvery int) {
+	t.Helper()
+	if batch <= 0 {
+		batch = 50
+	}
+	b := 0
+	for lo := 0; lo < len(baskets); lo += batch {
+		hi := lo + batch
+		if hi > len(baskets) {
+			hi = len(baskets)
+		}
+		if _, _, err := log.Append(baskets[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		b++
+		if sealEvery > 0 && b%sealEvery == 0 {
+			if err := log.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRefreshMatchesBatchMine is the core equivalence test: an incremental
+// refresh over a segmented log must produce a byte-identical rule report to
+// a batch mine of the same transactions.
+func TestRefreshMatchesBatchMine(t *testing.T) {
+	tax, baskets := testData(t, 600, 1)
+	log, err := seglog.Open(t.TempDir(), seglog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	fillLog(t, log, baskets, 60, 3)
+
+	m := New(tax, miningOpts())
+	got, err := m.Refresh(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchMine(t, log, tax)
+	gb, wb := reportBytes(t, got), reportBytes(t, want)
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("incremental report differs from batch:\nincr:  %s\nbatch: %s", gb, wb)
+	}
+	if len(want.Rules) == 0 {
+		t.Fatal("test data produced no negative rules — the equivalence check is vacuous")
+	}
+	if st := m.LastStats(); st.NewSegments == 0 || st.N != 600 {
+		t.Fatalf("refresh stats: %+v", st)
+	}
+}
+
+// TestRefreshPropertyRandomSplits replays random base+delta splits of the
+// same stream: whatever the segment boundaries and refresh schedule, every
+// refresh must match the batch report for the data so far.
+func TestRefreshPropertyRandomSplits(t *testing.T) {
+	tax, baskets := testData(t, 400, 2)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		log, err := seglog.Open(t.TempDir(), seglog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(tax, miningOpts())
+		// Random split into 2–4 chunks with random batch/seal cadence.
+		cuts := []int{0, len(baskets)}
+		for c := rng.Intn(3); c > 0; c-- {
+			cuts = append(cuts, 1+rng.Intn(len(baskets)-1))
+		}
+		sortInts(cuts)
+		for i := 1; i < len(cuts); i++ {
+			chunk := baskets[cuts[i-1]:cuts[i]]
+			if len(chunk) == 0 {
+				continue
+			}
+			fillLog(t, log, chunk, 60+rng.Intn(60), 2+rng.Intn(2))
+			got, err := m.Refresh(log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := batchMine(t, log, tax)
+			gb, wb := reportBytes(t, got), reportBytes(t, want)
+			if !bytes.Equal(gb, wb) {
+				t.Fatalf("trial %d, chunk %d: incremental report differs from batch", trial, i)
+			}
+		}
+		log.Close()
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestReplicaDeltaScansOnlyNewSegments is the acceptance check for the
+// refresh cost model: when the delta replicates the base distribution (the
+// steady state of a live feed, made exact here by appending a replica of a
+// base block), the candidate sets are stable, so a refresh after a 10%
+// delta must scan the new segment only — every old-segment count comes
+// from the cache.
+func TestReplicaDeltaScansOnlyNewSegments(t *testing.T) {
+	tax, baskets := testData(t, 500, 3)
+	block := baskets[:50]
+	log, err := seglog.Open(t.TempDir(), seglog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	// Base: ten sealed segments, each one replica of the block, so relative
+	// supports are exactly the block's and stay fixed as replicas arrive.
+	for i := 0; i < 10; i++ {
+		fillLog(t, log, block, len(block), 1)
+	}
+
+	m := New(tax, miningOpts())
+	base, err := m.Refresh(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 10% delta: one more replica segment.
+	fillLog(t, log, block, len(block), 1)
+	got, err := m.Refresh(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.LastStats()
+	if st.NewSegments != 1 {
+		t.Fatalf("delta refresh mined %d new segments, want 1 (stats %+v)", st.NewSegments, st)
+	}
+	if st.OldSegmentScans != 0 {
+		t.Fatalf("delta refresh scanned %d old segments, want 0 (stats %+v)", st.OldSegmentScans, st)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("delta refresh hit the cache %d times — caching is not engaged", st.CacheHits)
+	}
+	// And still exactly equal to the batch result.
+	want := batchMine(t, log, tax)
+	gb, wb := reportBytes(t, got), reportBytes(t, want)
+	if !bytes.Equal(gb, wb) {
+		t.Fatal("delta refresh report differs from batch")
+	}
+	if len(base.Rules) == 0 && len(got.Rules) == 0 {
+		t.Fatal("no rules mined before or after the delta — the test is vacuous")
+	}
+}
+
+// TestRefreshSurvivesCompaction compacts the log between refreshes; the
+// merged segment is new to the cache and the result must stay exact.
+func TestRefreshSurvivesCompaction(t *testing.T) {
+	tax, baskets := testData(t, 400, 4)
+	log, err := seglog.Open(t.TempDir(), seglog.Options{CompactUnder: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	fillLog(t, log, baskets, 100, 1)
+
+	m := New(tax, miningOpts())
+	if _, err := m.Refresh(log); err != nil {
+		t.Fatal(err)
+	}
+	if did, err := log.Compact(); err != nil || !did {
+		t.Fatalf("compact: did=%v err=%v", did, err)
+	}
+	got, err := m.Refresh(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchMine(t, log, tax)
+	gb, wb := reportBytes(t, got), reportBytes(t, want)
+	if !bytes.Equal(gb, wb) {
+		t.Fatal("post-compaction refresh report differs from batch")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"negmine/internal/apriori"
 	"negmine/internal/count"
 	"negmine/internal/gen"
 	"negmine/internal/item"
@@ -22,8 +23,22 @@ func mineImproved(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	stage1 := time.Since(start)
+	res, err := mineStages23(large, tax, opt, defaultCount(db, tax, opt))
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Stage1 = stage1
+	return res, nil
+}
+
+// mineStages23 runs candidate generation, counting and rule generation (the
+// paper's stages 2 and 3) against an already-mined stage-1 result, with the
+// counting pass delegated to countFn. Both the batch Improved driver and the
+// incremental refresh path (internal/incr) go through here, which is what
+// makes their rule sets identical by construction.
+func mineStages23(large *apriori.Result, tax *taxonomy.Taxonomy, opt Options, countFn CountFunc) (*Result, error) {
 	res := &Result{Large: large, CandidatesBySize: map[int]int{}}
-	res.Timing.Stage1 = time.Since(start)
 	if len(large.Levels) < 2 {
 		return res, nil
 	}
@@ -44,7 +59,7 @@ func mineImproved(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*Result, err
 		res.CandidatesBySize[c.Set.Len()]++
 	}
 
-	negs, err := countAndFilter(db, tax, cands, opt, large.N)
+	negs, err := countAndFilter(countFn, tax, cands, opt, large.N)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +106,7 @@ func mineNaive(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*Result, error)
 		}
 		cands := g.candidates()
 		res.CandidatesBySize[k] += len(cands)
-		lvlNegs, err := countAndFilter(db, tax, cands, opt, stepper.Result().N)
+		lvlNegs, err := countAndFilter(defaultCount(db, tax, opt), tax, cands, opt, stepper.Result().N)
 		if err != nil {
 			return nil, err
 		}
@@ -107,10 +122,20 @@ func mineNaive(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) (*Result, error)
 	return res, nil
 }
 
+// defaultCount is the batch CountFunc: every group is counted with one
+// call to the multi-tree single-pass counter over the full database.
+func defaultCount(db txdb.DB, tax *taxonomy.Taxonomy, opt Options) CountFunc {
+	return func(groups [][]item.Itemset, transforms []count.TransformInto) ([][]int, error) {
+		cnt := opt.Count
+		cnt.Tax = tax
+		return count.MultiTransformed(db, groups, transforms, cnt)
+	}
+}
+
 // countAndFilter counts the actual support of every candidate (batching
 // passes per Options.MaxCandidates) and keeps those whose actual support
 // falls at least MinSup·MinRI below expectation — the negative itemsets.
-func countAndFilter(db txdb.DB, tax *taxonomy.Taxonomy, cands []Candidate, opt Options, n int) ([]Itemset, error) {
+func countAndFilter(countFn CountFunc, tax *taxonomy.Taxonomy, cands []Candidate, opt Options, n int) ([]Itemset, error) {
 	if len(cands) == 0 {
 		return nil, nil
 	}
@@ -155,9 +180,7 @@ func countAndFilter(db txdb.DB, tax *taxonomy.Taxonomy, cands []Candidate, opt O
 		for gi, g := range groups {
 			transforms[gi] = gen.ExtendTransform(tax, g)
 		}
-		cnt := opt.Count
-		cnt.Tax = tax
-		counts, err := count.MultiTransformed(db, groups, transforms, cnt)
+		counts, err := countFn(groups, transforms)
 		if err != nil {
 			return nil, err
 		}

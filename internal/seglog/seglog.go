@@ -1,0 +1,652 @@
+// Package seglog implements the system's write path: a WAL-backed,
+// segmented transaction log. Appends go to a single active segment file as
+// CRC-framed batches and are fsynced before they are acknowledged; Seal
+// turns the active segment into an immutable, manifest-listed segment and
+// opens a fresh one; Compact merges runs of small sealed segments. The
+// manifest is replaced atomically (internal/atomicio), so a crash at any
+// point leaves the log recoverable: sealed data is never touched, and the
+// active segment is truncated at the first torn frame — which by the
+// fsync-before-ack contract can only contain unacknowledged transactions.
+//
+// Sealed segments double as the partitions of the paper's Partition
+// algorithm: internal/incr mines each sealed segment locally and caches the
+// per-segment counts, which is what makes incremental re-mining scan only
+// the segments that are new since the last refresh.
+package seglog
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"negmine/internal/fault"
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+// Failpoints (see internal/fault). PointAppend is evaluated at the start of
+// every Append and again between the frame write and the fsync (a panic
+// there models a process killed after the bytes landed but before the
+// acknowledgement). PointSeal and PointCompact are evaluated at entry and
+// again just before the manifest swap, bracketing the window where a kill
+// leaves on-disk state ahead of the manifest.
+const (
+	PointAppend  = "seglog.append"
+	PointSeal    = "seglog.seal"
+	PointCompact = "seglog.compact"
+)
+
+// DefaultCompactUnder is the sealed-segment size below which Compact
+// considers a segment small when Options.CompactUnder is zero.
+const DefaultCompactUnder = 1 << 20
+
+// Options configures a Log.
+type Options struct {
+	// SealBytes automatically seals the active segment when its file grows
+	// past this many bytes (0 = no size-based sealing).
+	SealBytes int64
+	// SealTxns automatically seals the active segment when it holds at
+	// least this many transactions (0 = no count-based sealing).
+	SealTxns int
+	// CompactUnder marks sealed segments smaller than this many bytes as
+	// compaction candidates (0 = DefaultCompactUnder).
+	CompactUnder int64
+	// NoSync skips the fsync on append. Acknowledgements then no longer
+	// survive power loss; only benchmarks should set it.
+	NoSync bool
+	// VerifyOnOpen fully re-reads every sealed segment at Open and checks
+	// it against its manifest entry (size, CRC, count, TID range) instead
+	// of the default existence + size check.
+	VerifyOnOpen bool
+}
+
+// Stats is a point-in-time summary of a Log, exported by negmined's
+// /metrics ingest block.
+type Stats struct {
+	Segments      int   // sealed segments
+	SealedBytes   int64 // bytes across sealed segment files
+	SealedTxns    int   // transactions in sealed segments
+	ActiveTxns    int   // transactions in the active segment
+	ActiveBytes   int64 // bytes in the active segment file
+	NextTID       int64 // TID the next appended transaction gets
+	TxnsAppended  int64 // transactions appended since Open
+	Seals         int64 // seals since Open
+	Compactions   int64 // compactions since Open
+	RecoveredDrop int64 // torn-tail bytes discarded during Open
+}
+
+// SegmentView is a read-only handle on one sealed segment: its manifest
+// entry plus a txdb.DB that re-reads the immutable file on every scan.
+type SegmentView struct {
+	Entry SegmentEntry
+	DB    txdb.DB
+}
+
+// Log is a segmented transaction log rooted at a directory. All methods are
+// safe for concurrent use; reads (Scan, SealedViews) never block appends
+// for longer than a state snapshot.
+type Log struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	man       manifest
+	active    activeSegment
+	nextTID   int64
+	appended  int64
+	seals     int64
+	compacts  int64
+	recovered int64 // torn bytes dropped at Open
+	broken    error // set when on-disk and in-memory state may disagree
+}
+
+// activeSegment is the in-memory state of the appendable segment.
+type activeSegment struct {
+	id     int64
+	f      *os.File
+	size   int64
+	txns   int
+	minTID int64
+	enc    txdb.Encoder
+	// txs mirrors the file's content. Readers copy the slice header under
+	// the log lock and iterate without it: elements once appended are never
+	// mutated, so a concurrent append (even one that reallocates) cannot
+	// disturb a reader's view.
+	txs []txdb.Transaction
+}
+
+// Open opens (or initializes) the segment log in dir, recovering from any
+// previous crash: the manifest names the surviving segments, orphan files
+// from killed seals/compactions are removed, and the active segment is
+// truncated at the first torn frame.
+func Open(dir string, opt Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt}
+	man, err := loadManifest(dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		man = &manifest{Version: manifestVersion, NextID: 2, Active: 1}
+		if err := storeManifest(dir, man); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, err
+	}
+	l.man = *man
+
+	if err := l.removeOrphans(); err != nil {
+		return nil, err
+	}
+	maxTID := int64(0)
+	for _, e := range l.man.Sealed {
+		check := statSegment
+		if opt.VerifyOnOpen {
+			check = verifySegment
+		}
+		if err := check(dir, e); err != nil {
+			return nil, err
+		}
+		if e.MaxTID > maxTID {
+			maxTID = e.MaxTID
+		}
+	}
+	if err := l.recoverActive(); err != nil {
+		return nil, err
+	}
+	if last := l.active.enc.LastTID(); last > maxTID {
+		maxTID = last
+	}
+	l.nextTID = maxTID + 1
+	return l, nil
+}
+
+// removeOrphans deletes segment files the manifest does not reference —
+// leftovers of a seal or compaction killed before its manifest swap — and
+// stray atomicio temp files.
+func (l *Log) removeOrphans() error {
+	known := map[string]bool{segmentPath(l.dir, l.man.Active): true}
+	for _, e := range l.man.Sealed {
+		known[segmentPath(l.dir, e.ID)] = true
+	}
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range entries {
+		name := de.Name()
+		path := filepath.Join(l.dir, name)
+		isSeg := strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".nmsl")
+		isTmp := strings.Contains(name, ".tmp-")
+		if (isSeg && !known[path]) || isTmp {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recoverActive opens the active segment file, truncating any torn tail,
+// and rebuilds the in-memory mirror and encoder state.
+func (l *Log) recoverActive() error {
+	path := segmentPath(l.dir, l.man.Active)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	rec, err := recoverActiveBytes(raw, path)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if rec.size == 0 {
+		// Empty or torn-header file: (re)write the header.
+		hdr := segmentHeader()
+		if err := f.Truncate(0); err == nil {
+			_, err = f.WriteAt(hdr, 0)
+		}
+		if err == nil && !l.opt.NoSync {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		rec.size = int64(len(hdr))
+	} else if int64(len(raw)) != rec.size {
+		if err := f.Truncate(rec.size); err != nil {
+			f.Close()
+			return err
+		}
+		if !l.opt.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	l.active = activeSegment{
+		id:     l.man.Active,
+		f:      f,
+		size:   rec.size,
+		txns:   len(rec.txs),
+		minTID: rec.minTID,
+		txs:    rec.txs,
+	}
+	if len(rec.txs) > 0 {
+		l.active.enc.ResumeAt(rec.maxTID)
+	}
+	l.recovered += rec.dropped
+	return nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close fsyncs and closes the active segment file. The log must not be
+// used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active.f == nil {
+		return nil
+	}
+	var err error
+	if !l.opt.NoSync {
+		err = l.active.f.Sync()
+	}
+	if cerr := l.active.f.Close(); err == nil {
+		err = cerr
+	}
+	l.active.f = nil
+	return err
+}
+
+// Append atomically appends a batch of baskets as one durable frame,
+// assigning consecutive TIDs. It returns the first and last TID assigned
+// once the frame is fsynced — an Append that returned is an Append that
+// survives a crash. Empty batches are rejected; itemsets must be valid
+// (sorted, unique, non-negative).
+func (l *Log) Append(baskets []item.Itemset) (first, last int64, err error) {
+	if len(baskets) == 0 {
+		return 0, 0, fmt.Errorf("seglog: empty batch")
+	}
+	for i, s := range baskets {
+		if err := s.Validate(); err != nil {
+			return 0, 0, fmt.Errorf("seglog: basket %d: %w", i, err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return 0, 0, fmt.Errorf("seglog: log needs reopening: %w", l.broken)
+	}
+	if err := fault.Hit(PointAppend); err != nil {
+		return 0, 0, fmt.Errorf("seglog: %w", err)
+	}
+
+	// Encode against a scratch copy of the encoder so a failed write leaves
+	// the committed stream state untouched.
+	enc := l.active.enc
+	first = l.nextTID
+	txs := make([]txdb.Transaction, len(baskets))
+	var payload []byte
+	for i, s := range baskets {
+		tx := txdb.Transaction{TID: l.nextTID + int64(i), Items: s.Clone()}
+		txs[i] = tx
+		if payload, err = enc.AppendRecord(payload, tx); err != nil {
+			return 0, 0, err
+		}
+	}
+	last = first + int64(len(baskets)) - 1
+	if len(payload) > maxFramePayload {
+		return 0, 0, fmt.Errorf("seglog: batch encodes to %d bytes, above the %d frame bound — split it", len(payload), maxFramePayload)
+	}
+
+	fr := frame(payload)
+	startSize := l.active.size
+	undo := func(werr error) (int64, int64, error) {
+		// Claw back partially written bytes so in-memory and on-disk state
+		// agree; if even that fails the log refuses further writes.
+		if terr := l.active.f.Truncate(startSize); terr != nil {
+			l.broken = terr
+		}
+		return 0, 0, werr
+	}
+	// Two writes with the failpoint between them: a panic (kill) on the
+	// second evaluation leaves a torn frame on disk, exactly what a crash
+	// mid-append produces. Nothing has been acknowledged at that point.
+	half := len(fr) / 2
+	if _, err := l.active.f.WriteAt(fr[:half], startSize); err != nil {
+		return undo(err)
+	}
+	if err := fault.Hit(PointAppend); err != nil {
+		return undo(fmt.Errorf("seglog: %w", err))
+	}
+	if _, err := l.active.f.WriteAt(fr[half:], startSize+int64(half)); err != nil {
+		return undo(err)
+	}
+	if !l.opt.NoSync {
+		if err := l.active.f.Sync(); err != nil {
+			return undo(err)
+		}
+	}
+
+	// Durable: commit the in-memory state and acknowledge.
+	l.active.enc = enc
+	l.active.size += int64(len(fr))
+	l.active.txns += len(txs)
+	if l.active.minTID == 0 {
+		l.active.minTID = first
+	}
+	l.active.txs = append(l.active.txs, txs...)
+	l.nextTID = last + 1
+	l.appended += int64(len(txs))
+
+	if (l.opt.SealBytes > 0 && l.active.size >= l.opt.SealBytes) ||
+		(l.opt.SealTxns > 0 && l.active.txns >= l.opt.SealTxns) {
+		if err := l.sealLocked(); err != nil {
+			// The append itself is durable; surface the seal failure without
+			// retracting the acknowledgement.
+			return first, last, fmt.Errorf("seglog: auto-seal: %w", err)
+		}
+	}
+	return first, last, nil
+}
+
+// Seal makes the active segment immutable and opens a fresh one. Sealing an
+// empty active segment is a no-op. The on-disk order is: fsync the segment,
+// commit the manifest, create the new active file — a crash between any two
+// steps recovers to a consistent log with nothing lost.
+func (l *Log) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealLocked()
+}
+
+func (l *Log) sealLocked() error {
+	if l.broken != nil {
+		return fmt.Errorf("seglog: log needs reopening: %w", l.broken)
+	}
+	if l.active.txns == 0 {
+		return nil
+	}
+	if err := fault.Hit(PointSeal); err != nil {
+		return fmt.Errorf("seglog: %w", err)
+	}
+	if err := l.active.f.Sync(); err != nil {
+		return err
+	}
+	crc, err := fileCRC(segmentPath(l.dir, l.active.id), l.active.size)
+	if err != nil {
+		return err
+	}
+	entry := SegmentEntry{
+		ID:     l.active.id,
+		Txns:   l.active.txns,
+		Bytes:  l.active.size,
+		CRC:    crc,
+		MinTID: l.active.minTID,
+		MaxTID: l.active.enc.LastTID(),
+	}
+	if err := fault.Hit(PointSeal); err != nil {
+		return fmt.Errorf("seglog: %w", err)
+	}
+	next := l.man
+	next.Sealed = append(append([]SegmentEntry(nil), l.man.Sealed...), entry)
+	next.Active = l.man.NextID
+	next.NextID = l.man.NextID + 1
+	if err := storeManifest(l.dir, &next); err != nil {
+		return err
+	}
+	// Manifest committed: the old active segment is sealed no matter what
+	// happens from here on. Swap in a fresh active segment.
+	if err := l.active.f.Close(); err != nil {
+		l.broken = err
+		return err
+	}
+	l.man = next
+	l.seals++
+	f, err := os.OpenFile(segmentPath(l.dir, next.Active), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.broken = err
+		return err
+	}
+	hdr := segmentHeader()
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		l.broken = err
+		return err
+	}
+	if !l.opt.NoSync {
+		if err := f.Sync(); err != nil {
+			l.broken = err
+			return err
+		}
+	}
+	l.active = activeSegment{id: next.Active, f: f, size: int64(len(hdr))}
+	return nil
+}
+
+// Compact merges the first run of at least two adjacent sealed segments
+// that are each smaller than Options.CompactUnder into one new segment,
+// preserving scan order. It reports whether a merge happened. The merged
+// file is written and fsynced before the manifest swap; a kill in between
+// leaves an orphan the next Open removes.
+func (l *Log) Compact() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return false, fmt.Errorf("seglog: log needs reopening: %w", l.broken)
+	}
+	threshold := l.opt.CompactUnder
+	if threshold <= 0 {
+		threshold = DefaultCompactUnder
+	}
+	runStart, runEnd := -1, -1
+	for i, e := range l.man.Sealed {
+		if e.Bytes < threshold {
+			if runStart < 0 {
+				runStart = i
+			}
+			runEnd = i + 1
+		} else if runEnd-runStart >= 2 {
+			break
+		} else {
+			runStart, runEnd = -1, -1
+		}
+	}
+	if runStart < 0 || runEnd-runStart < 2 {
+		return false, nil
+	}
+	if err := fault.Hit(PointCompact); err != nil {
+		return false, fmt.Errorf("seglog: %w", err)
+	}
+	run := l.man.Sealed[runStart:runEnd]
+	merged, err := l.writeMerged(l.man.NextID, run)
+	if err != nil {
+		return false, err
+	}
+	if err := fault.Hit(PointCompact); err != nil {
+		return false, fmt.Errorf("seglog: %w", err)
+	}
+	next := l.man
+	next.Sealed = make([]SegmentEntry, 0, len(l.man.Sealed)-len(run)+1)
+	next.Sealed = append(next.Sealed, l.man.Sealed[:runStart]...)
+	next.Sealed = append(next.Sealed, merged)
+	next.Sealed = append(next.Sealed, l.man.Sealed[runEnd:]...)
+	next.NextID = l.man.NextID + 1
+	if err := storeManifest(l.dir, &next); err != nil {
+		return false, err
+	}
+	l.man = next
+	l.compacts++
+	for _, e := range run {
+		_ = os.Remove(segmentPath(l.dir, e.ID)) // best-effort; Open reaps leftovers
+	}
+	return true, nil
+}
+
+// writeMerged streams the run's transactions into a new sealed segment file
+// and returns its manifest entry.
+func (l *Log) writeMerged(id int64, run []SegmentEntry) (SegmentEntry, error) {
+	path := segmentPath(l.dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return SegmentEntry{}, err
+	}
+	defer f.Close()
+	hdr := segmentHeader()
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return SegmentEntry{}, err
+	}
+	size := int64(len(hdr))
+	var enc txdb.Encoder
+	var payload []byte
+	const flushAt = 256 << 10
+	flush := func() error {
+		if len(payload) == 0 {
+			return nil
+		}
+		fr := frame(payload)
+		if _, err := f.WriteAt(fr, size); err != nil {
+			return err
+		}
+		size += int64(len(fr))
+		payload = payload[:0]
+		return nil
+	}
+	txns := 0
+	for _, e := range run {
+		src := &segDB{path: segmentPath(l.dir, e.ID), txns: e.Txns}
+		err := src.Scan(func(tx txdb.Transaction) error {
+			var err error
+			if payload, err = enc.AppendRecord(payload, tx); err != nil {
+				return err
+			}
+			txns++
+			if len(payload) >= flushAt {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return SegmentEntry{}, err
+		}
+	}
+	if err := flush(); err != nil {
+		return SegmentEntry{}, err
+	}
+	if err := f.Sync(); err != nil {
+		return SegmentEntry{}, err
+	}
+	crc, err := fileCRC(path, size)
+	if err != nil {
+		return SegmentEntry{}, err
+	}
+	return SegmentEntry{
+		ID:     id,
+		Txns:   txns,
+		Bytes:  size,
+		CRC:    crc,
+		MinTID: run[0].MinTID,
+		MaxTID: run[len(run)-1].MaxTID,
+	}, nil
+}
+
+// SealedViews returns read-only handles on the sealed segments in scan
+// order. The views stay valid until the segments they name are compacted
+// away.
+func (l *Log) SealedViews() []SegmentView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	views := make([]SegmentView, len(l.man.Sealed))
+	for i, e := range l.man.Sealed {
+		views[i] = SegmentView{Entry: e, DB: &segDB{path: segmentPath(l.dir, e.ID), txns: e.Txns}}
+	}
+	return views
+}
+
+// Count returns the total number of transactions (sealed + active).
+func (l *Log) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.active.txns
+	for _, e := range l.man.Sealed {
+		n += e.Txns
+	}
+	return n
+}
+
+// Scan streams every transaction — sealed segments in manifest order, then
+// the active segment — satisfying txdb.DB. The view is the log state at
+// call time; concurrent appends are not observed mid-scan.
+func (l *Log) Scan(fn func(txdb.Transaction) error) error {
+	l.mu.Lock()
+	sealed := append([]SegmentEntry(nil), l.man.Sealed...)
+	activeTxs := l.active.txs
+	l.mu.Unlock()
+	for _, e := range sealed {
+		db := &segDB{path: segmentPath(l.dir, e.ID), txns: e.Txns}
+		if err := db.Scan(fn); err != nil {
+			return err
+		}
+	}
+	for _, tx := range activeTxs {
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveTransactions returns the active segment's transactions. The slice
+// and its elements are shared and must not be modified.
+func (l *Log) ActiveTransactions() []txdb.Transaction {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active.txs
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Segments:      len(l.man.Sealed),
+		ActiveTxns:    l.active.txns,
+		ActiveBytes:   l.active.size,
+		NextTID:       l.nextTID,
+		TxnsAppended:  l.appended,
+		Seals:         l.seals,
+		Compactions:   l.compacts,
+		RecoveredDrop: l.recovered,
+	}
+	for _, e := range l.man.Sealed {
+		st.SealedBytes += e.Bytes
+		st.SealedTxns += e.Txns
+	}
+	return st
+}
+
+// fileCRC computes the crc32c of the first size bytes of path.
+func fileCRC(path string, size int64) (uint32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if int64(len(raw)) < size {
+		return 0, fmt.Errorf("seglog: %s: %d bytes on disk, expected at least %d", path, len(raw), size)
+	}
+	return crc32.Checksum(raw[:size], crcTable), nil
+}

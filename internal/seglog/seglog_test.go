@@ -1,0 +1,486 @@
+package seglog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"negmine/internal/item"
+	"negmine/internal/txdb"
+)
+
+// basket builds an itemset for tests.
+func basket(ids ...int) item.Itemset {
+	s := make(item.Itemset, len(ids))
+	for i, id := range ids {
+		s[i] = item.Item(id)
+	}
+	return item.New(s...)
+}
+
+// openTest opens a log in a fresh temp dir and closes it at cleanup.
+func openTest(t *testing.T, opt Options) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, dir
+}
+
+// collect scans every transaction out of a DB.
+func collect(t *testing.T, db txdb.DB) []txdb.Transaction {
+	t.Helper()
+	var txs []txdb.Transaction
+	err := db.Scan(func(tx txdb.Transaction) error {
+		txs = append(txs, txdb.Transaction{TID: tx.TID, Items: tx.Items.Clone()})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txs
+}
+
+func TestAppendAssignsTIDsAndScans(t *testing.T) {
+	l, _ := openTest(t, Options{})
+	first, last, err := l.Append([]item.Itemset{basket(1, 2), basket(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || last != 2 {
+		t.Fatalf("TIDs [%d, %d], want [1, 2]", first, last)
+	}
+	first, last, err = l.Append([]item.Itemset{basket(2, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || last != 3 {
+		t.Fatalf("second batch TIDs [%d, %d], want [3, 3]", first, last)
+	}
+	txs := collect(t, l)
+	if len(txs) != 3 || l.Count() != 3 {
+		t.Fatalf("scan found %d txs, Count %d, want 3", len(txs), l.Count())
+	}
+	for i, tx := range txs {
+		if tx.TID != int64(i+1) {
+			t.Fatalf("tx %d has TID %d", i, tx.TID)
+		}
+	}
+	if !txs[2].Items.Equal(basket(2, 5)) {
+		t.Fatalf("third tx items %v", txs[2].Items)
+	}
+}
+
+func TestAppendRejectsBadInput(t *testing.T) {
+	l, _ := openTest(t, Options{})
+	if _, _, err := l.Append(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := l.Append([]item.Itemset{{3, 1}}); err == nil {
+		t.Fatal("unsorted itemset accepted")
+	}
+	if got := l.Count(); got != 0 {
+		t.Fatalf("rejected appends changed Count to %d", got)
+	}
+}
+
+func TestSealAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(1), basket(2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Sealing an empty active segment is a no-op.
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(7)}); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Segments != 1 || st.SealedTxns != 2 || st.ActiveTxns != 1 || st.Seals != 1 {
+		t.Fatalf("stats after seal: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{VerifyOnOpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	txs := collect(t, l2)
+	if len(txs) != 3 {
+		t.Fatalf("reopened log has %d txs, want 3", len(txs))
+	}
+	// TIDs keep increasing across the reopen.
+	if first, _, err := l2.Append([]item.Itemset{basket(9)}); err != nil || first != 4 {
+		t.Fatalf("append after reopen: first=%d err=%v, want 4/nil", first, err)
+	}
+}
+
+func TestAutoSeal(t *testing.T) {
+	l, _ := openTest(t, Options{SealTxns: 2})
+	for i := 0; i < 5; i++ {
+		if _, _, err := l.Append([]item.Itemset{basket(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments != 2 || st.SealedTxns != 4 || st.ActiveTxns != 1 {
+		t.Fatalf("auto-seal stats: %+v", st)
+	}
+	if got := len(l.SealedViews()); got != 2 {
+		t.Fatalf("SealedViews returned %d segments", got)
+	}
+}
+
+func TestSealedViewsScanIndependently(t *testing.T) {
+	l, _ := openTest(t, Options{})
+	if _, _, err := l.Append([]item.Itemset{basket(1), basket(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	views := l.SealedViews()
+	if len(views) != 2 {
+		t.Fatalf("%d views", len(views))
+	}
+	if views[0].Entry.MinTID != 1 || views[0].Entry.MaxTID != 2 ||
+		views[1].Entry.MinTID != 3 || views[1].Entry.MaxTID != 3 {
+		t.Fatalf("view TID ranges: %+v / %+v", views[0].Entry, views[1].Entry)
+	}
+	a := collect(t, views[0].DB)
+	b := collect(t, views[1].DB)
+	if len(a) != 2 || len(b) != 1 || views[0].DB.Count() != 2 {
+		t.Fatalf("per-view scans: %d and %d txs", len(a), len(b))
+	}
+}
+
+func TestCompactMergesSmallRun(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{CompactUnder: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, _, err := l.Append([]item.Itemset{basket(i), basket(i, i+10)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := collect(t, l)
+	did, err := l.Compact()
+	if err != nil || !did {
+		t.Fatalf("Compact: did=%v err=%v", did, err)
+	}
+	st := l.Stats()
+	if st.Segments != 1 || st.Compactions != 1 {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+	after := collect(t, l)
+	if len(after) != len(before) {
+		t.Fatalf("compaction changed tx count: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i].TID != before[i].TID || !after[i].Items.Equal(before[i].Items) {
+			t.Fatalf("tx %d changed by compaction: %v vs %v", i, after[i], before[i])
+		}
+	}
+	// Idempotent: a single merged segment has no run of two to merge.
+	if did, err := l.Compact(); err != nil || did {
+		t.Fatalf("second Compact: did=%v err=%v", did, err)
+	}
+	// The merged result survives a verified reopen; old files are gone.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{VerifyOnOpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != len(before) {
+		t.Fatalf("reopen after compaction: %d txs", len(got))
+	}
+}
+
+func TestCompactSkipsLargeSegments(t *testing.T) {
+	l, _ := openTest(t, Options{CompactUnder: 1})
+	for i := 0; i < 3; i++ {
+		if _, _, err := l.Append([]item.Itemset{basket(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if did, err := l.Compact(); err != nil || did {
+		t.Fatalf("Compact merged segments above the threshold: did=%v err=%v", did, err)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage half-frame at the active tail.
+	path := segmentPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.RecoveredDrop != 3 {
+		t.Fatalf("RecoveredDrop = %d, want 3", st.RecoveredDrop)
+	}
+	txs := collect(t, l2)
+	if len(txs) != 1 || txs[0].TID != 1 {
+		t.Fatalf("recovered txs: %v", txs)
+	}
+	// The truncated log accepts appends again.
+	if first, _, err := l2.Append([]item.Itemset{basket(5)}); err != nil || first != 2 {
+		t.Fatalf("append after recovery: first=%d err=%v", first, err)
+	}
+}
+
+func TestCorruptSealedSegmentFailsVerifiedOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(1, 2), basket(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segmentPath(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{VerifyOnOpen: true}); err == nil {
+		t.Fatal("verified open accepted a corrupt sealed segment")
+	}
+	// The cheap open succeeds (size matches) but scanning must fail loudly.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Scan(func(txdb.Transaction) error { return nil }); err == nil {
+		t.Fatal("scan silently passed over a corrupt sealed segment")
+	}
+}
+
+func TestMidFileCorruptionInActiveIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segmentPath(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the FIRST frame's payload: acknowledged data strictly
+	// inside the file. Recovery must refuse, not truncate.
+	raw[segHeaderSize+frameHeaderSize] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open silently dropped acknowledged mid-file data")
+	}
+}
+
+func TestOrphanSegmentsRemovedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A compaction killed before its manifest swap leaves a full segment
+	// file with an id the manifest never heard of.
+	orphan := segmentPath(dir, 99)
+	if err := os.WriteFile(orphan, segmentHeader(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "manifest.json.tmp-123")
+	if err := os.WriteFile(tmp, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, p := range []string{orphan, tmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived reopen", p)
+		}
+	}
+	if txs := collect(t, l2); len(txs) != 1 {
+		t.Fatalf("recovered %d txs", len(txs))
+	}
+}
+
+func TestManifestCorruptionRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	for name, content := range map[string]string{
+		"not json":     "}{",
+		"bad version":  `{"version": 99, "nextId": 3, "active": 2}`,
+		"dup id":       `{"version": 1, "nextId": 3, "active": 1, "sealed": [{"id": 1, "txns": 1, "bytes": 10, "minTid": 1, "maxTid": 1}]}`,
+		"stale nextId": `{"version": 1, "nextId": 2, "active": 2}`,
+	} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Errorf("%s: open accepted a corrupt manifest", name)
+		}
+	}
+}
+
+func TestScanSnapshotIgnoresConcurrentAppend(t *testing.T) {
+	l, _ := openTest(t, Options{})
+	if _, _, err := l.Append([]item.Itemset{basket(1), basket(2)}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := l.Scan(func(tx txdb.Transaction) error {
+		n++
+		if n == 1 {
+			// Appending mid-scan must not extend this scan's view.
+			if _, _, err := l.Append([]item.Itemset{basket(9)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scan saw %d txs, want the 2 present at scan start", n)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d after mid-scan append", l.Count())
+	}
+}
+
+func TestConcurrentAppendAndScan(t *testing.T) {
+	l, _ := openTest(t, Options{SealTxns: 16, NoSync: true})
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 100; i++ {
+			if _, _, err := l.Append([]item.Itemset{basket(i % 7), basket(i%7, 9)}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 50; i++ {
+			prev := int64(0)
+			err := l.Scan(func(tx txdb.Transaction) error {
+				if tx.TID <= prev {
+					return fmt.Errorf("TID %d after %d", tx.TID, prev)
+				}
+				prev = tx.TID
+				return nil
+			})
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Count(); got != 200 {
+		t.Fatalf("Count = %d, want 200", got)
+	}
+}

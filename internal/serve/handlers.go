@@ -86,6 +86,7 @@ type reloadResponse struct {
 //	GET  /healthz                               liveness + snapshot info
 //	GET  /metrics                               counters, latency, reload state
 //	POST /reload[?wait=1]                       rebuild + swap the snapshot
+//	POST /ingest  {"baskets": [[...], ...]}     append transactions (WithIngest)
 //
 // Every endpoint serves from one Snapshot pointer loaded at request start,
 // so responses are internally consistent even while a reload swaps.
@@ -96,6 +97,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/healthz", s.instrument(epHealthz, http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/metrics", s.instrument(epMetrics, http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("/reload", s.instrument(epReload, http.HandlerFunc(s.handleReload)))
+	mux.Handle("/ingest", s.instrument(epIngest, http.HandlerFunc(s.handleIngest)))
 	mux.Handle("/", s.instrument(epOther, http.NotFoundHandler()))
 	return mux
 }
@@ -120,12 +122,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// admissionClass maps endpoints to governance classes: /score and /reload
-// are the expensive work degraded mode sheds first; /healthz and /metrics
-// are exempt so operators can always see what an overloaded daemon is doing.
+// admissionClass maps endpoints to governance classes: /score, /reload and
+// /ingest are the expensive work degraded mode sheds first (a shed ingest is
+// safe: nothing was appended, the client retries); /healthz and /metrics are
+// exempt so operators can always see what an overloaded daemon is doing.
 func admissionClass(ep int) (class govern.Class, exempt bool) {
 	switch ep {
-	case epScore, epReload:
+	case epScore, epReload, epIngest:
 		return govern.Expensive, false
 	case epHealthz, epMetrics:
 		return 0, true

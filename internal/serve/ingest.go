@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// ErrIngestRejected marks a batch the sink refused for content reasons —
+// an unknown item name, an empty basket. The handler maps it to 400; every
+// other sink error is a server-side failure and maps to 500.
+var ErrIngestRejected = errors.New("batch rejected")
+
+// IngestResult reports what an accepted batch became: the transaction id
+// range the log assigned (durable before the sink returns) and whether the
+// sink decided the accumulated delta warrants a background re-mine.
+type IngestResult struct {
+	FirstTID  int64
+	LastTID   int64
+	Accepted  int
+	Refreshed bool // a re-mine was triggered by this batch
+}
+
+// IngestStats is the ingest block of the /metrics document, filled by the
+// configured IngestSink from its segment log and incremental miner.
+type IngestStats struct {
+	Segments     int   `json:"segments"`
+	SealedTxns   int   `json:"sealedTxns"`
+	SealedBytes  int64 `json:"sealedBytes"`
+	ActiveTxns   int   `json:"activeTxns"`
+	TxnsAppended int64 `json:"txnsAppended"`
+	Seals        int64 `json:"seals"`
+	Compactions  int64 `json:"compactions"`
+	// PendingTxns counts transactions acknowledged but not yet reflected in
+	// the served snapshot (appended since the last completed refresh).
+	PendingTxns int64 `json:"pendingTxns"`
+	// Refreshes counts completed incremental re-mines; the LastRefresh*
+	// fields describe the most recent one.
+	Refreshes              int64   `json:"refreshes"`
+	LastRefreshSeconds     float64 `json:"lastRefreshSeconds,omitempty"`
+	LastRefreshNewSegments int     `json:"lastRefreshNewSegments,omitempty"`
+	LastRefreshOldScans    int     `json:"lastRefreshOldSegmentScans"`
+}
+
+// IngestSink accepts batches of named baskets from POST /ingest. The serve
+// layer owns only the HTTP contract; durability (append + fsync before
+// return) and refresh scheduling live behind this interface — see
+// cmd/negmined for the seglog+incr implementation.
+type IngestSink interface {
+	// Ingest appends the batch durably and returns the assigned TID range.
+	// Content problems (unknown item name, empty basket) are reported with
+	// an error wrapping ErrIngestRejected and nothing is appended.
+	Ingest(ctx context.Context, baskets [][]string) (IngestResult, error)
+	// Stats snapshots the sink's counters for /metrics.
+	Stats() IngestStats
+}
+
+// WithIngest enables POST /ingest, backed by the given sink. Without this
+// option the endpoint answers 404.
+func WithIngest(sink IngestSink) Option {
+	return func(s *Server) { s.ingest = sink }
+}
+
+// ingestRequest is the /ingest request body: a batch of baskets, each a
+// list of item names from the snapshot's dictionary.
+type ingestRequest struct {
+	Baskets [][]string `json:"baskets"`
+}
+
+// ingestResponse is the /ingest payload. The TID range is durable (fsync'd
+// to the segment log) by the time the client reads it.
+type ingestResponse struct {
+	Accepted  int   `json:"accepted"`
+	FirstTID  int64 `json:"firstTid"`
+	LastTID   int64 `json:"lastTid"`
+	Refreshed bool  `json:"refreshTriggered"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		writeError(w, http.StatusNotFound, "ingest is not enabled on this server")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, `use POST /ingest with {"baskets": [[...], ...]}`)
+		return
+	}
+	// The body is already bounded by instrument (http.MaxBytesReader).
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Baskets) == 0 {
+		writeError(w, http.StatusBadRequest, "baskets must contain at least one basket")
+		return
+	}
+	for i, b := range req.Baskets {
+		if len(b) == 0 {
+			writeError(w, http.StatusBadRequest, "basket %d is empty", i)
+			return
+		}
+	}
+	res, err := s.ingest.Ingest(r.Context(), req.Baskets)
+	if err != nil {
+		if errors.Is(err, ErrIngestRejected) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "ingest failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Accepted:  res.Accepted,
+		FirstTID:  res.FirstTID,
+		LastTID:   res.LastTID,
+		Refreshed: res.Refreshed,
+	})
+}

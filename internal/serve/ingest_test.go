@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeSink is an in-memory IngestSink: it assigns sequential TIDs and
+// rejects any item name outside its dictionary.
+type fakeSink struct {
+	known   map[string]bool
+	nextTID int64
+	batches int
+	txns    int64
+	fail    error // forced server-side failure when set
+}
+
+func newFakeSink(names ...string) *fakeSink {
+	known := map[string]bool{}
+	for _, n := range names {
+		known[n] = true
+	}
+	return &fakeSink{known: known, nextTID: 1}
+}
+
+func (f *fakeSink) Ingest(_ context.Context, baskets [][]string) (IngestResult, error) {
+	if f.fail != nil {
+		return IngestResult{}, f.fail
+	}
+	for _, b := range baskets {
+		for _, name := range b {
+			if !f.known[name] {
+				return IngestResult{}, fmt.Errorf("%w: unknown item %q", ErrIngestRejected, name)
+			}
+		}
+	}
+	res := IngestResult{FirstTID: f.nextTID, Accepted: len(baskets)}
+	f.nextTID += int64(len(baskets))
+	res.LastTID = f.nextTID - 1
+	f.batches++
+	f.txns += int64(len(baskets))
+	return res, nil
+}
+
+func (f *fakeSink) Stats() IngestStats {
+	return IngestStats{TxnsAppended: f.txns, Segments: f.batches}
+}
+
+func newIngestServer(t *testing.T, sink IngestSink, extra ...Option) *Server {
+	t.Helper()
+	opts := append([]Option{
+		WithLogger(func(string, ...any) {}),
+		WithIngest(sink),
+	}, extra...)
+	srv, err := NewServer(context.Background(), func(context.Context) (*Snapshot, error) {
+		return BuildSnapshot(testStore(), testTaxonomy(t), Meta{Source: "test"}), nil
+	}, opts...)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return srv
+}
+
+func TestHandlerIngest(t *testing.T) {
+	sink := newFakeSink("pepsi", "chips")
+	h := newIngestServer(t, sink).Handler()
+
+	code, body := post(t, h, "/ingest", `{"baskets":[["pepsi","chips"],["pepsi"]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /ingest: %d %s", code, body)
+	}
+	var resp struct {
+		Accepted int   `json:"accepted"`
+		FirstTID int64 `json:"firstTid"`
+		LastTID  int64 `json:"lastTid"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if resp.Accepted != 2 || resp.FirstTID != 1 || resp.LastTID != 2 {
+		t.Fatalf("response = %+v", resp)
+	}
+
+	// TIDs keep advancing across batches.
+	code, body = post(t, h, "/ingest", `{"baskets":[["chips"]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("second POST /ingest: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.FirstTID != 3 || resp.LastTID != 3 {
+		t.Fatalf("second response = %+v", resp)
+	}
+}
+
+func TestHandlerIngestValidation(t *testing.T) {
+	sink := newFakeSink("pepsi")
+	h := newIngestServer(t, sink).Handler()
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"not json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"basket":[["pepsi"]]}`, http.StatusBadRequest},
+		{"no baskets", `{"baskets":[]}`, http.StatusBadRequest},
+		{"empty basket", `{"baskets":[["pepsi"],[]]}`, http.StatusBadRequest},
+		{"unknown item", `{"baskets":[["coke-zero-max"]]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := post(t, h, "/ingest", tc.body); code != tc.want {
+			t.Errorf("%s: got %d %s, want %d", tc.name, code, body, tc.want)
+		}
+	}
+	if code, _ := get(t, h, "/ingest"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest: want 405")
+	}
+	if sink.txns != 0 {
+		t.Fatalf("rejected batches were appended: %d txns", sink.txns)
+	}
+
+	// A sink failure that is not a content rejection is a 500.
+	sink.fail = fmt.Errorf("disk on fire")
+	if code, body := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusInternalServerError {
+		t.Errorf("sink failure: got %d %s, want 500", code, body)
+	}
+}
+
+func TestHandlerIngestDisabled(t *testing.T) {
+	srv := newTestServer(t, func(context.Context) (*Snapshot, error) {
+		return BuildSnapshot(testStore(), testTaxonomy(t), Meta{}), nil
+	})
+	if code, body := post(t, srv.Handler(), "/ingest", `{"baskets":[["x"]]}`); code != http.StatusNotFound {
+		t.Fatalf("ingest without sink: %d %s, want 404", code, body)
+	}
+}
+
+func TestHandlerIngestBodyBound(t *testing.T) {
+	sink := newFakeSink("pepsi")
+	h := newIngestServer(t, sink, WithMaxBodyBytes(128)).Handler()
+
+	big := `{"baskets":[["pepsi"` + strings.Repeat(`,"pepsi"`, 64) + `]]}`
+	if code, body := post(t, h, "/ingest", big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: %d %s, want 413", code, body)
+	}
+	if code, _ := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusOK {
+		t.Fatalf("small ingest after 413 rejected")
+	}
+}
+
+func TestMetricsIngestBlock(t *testing.T) {
+	sink := newFakeSink("pepsi")
+	h := newIngestServer(t, sink).Handler()
+	if code, _ := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	var doc struct {
+		Endpoints map[string]json.RawMessage `json:"endpoints"`
+		Ingest    *struct {
+			TxnsAppended int64 `json:"txnsAppended"`
+		} `json:"ingest"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if doc.Ingest == nil || doc.Ingest.TxnsAppended != 1 {
+		t.Fatalf("ingest block = %+v", doc.Ingest)
+	}
+	if _, ok := doc.Endpoints["ingest"]; !ok {
+		t.Fatalf("no ingest endpoint stats in %v", body)
+	}
+}

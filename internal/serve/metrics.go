@@ -108,11 +108,12 @@ const (
 	epHealthz
 	epMetrics
 	epReload
+	epIngest
 	epOther
 	epCount
 )
 
-var endpointNames = [epCount]string{"rules", "score", "healthz", "metrics", "reload", "other"}
+var endpointNames = [epCount]string{"rules", "score", "healthz", "metrics", "reload", "ingest", "other"}
 
 // Metrics aggregates the daemon's counters: per-endpoint request and error
 // counts, per-endpoint latency histograms, and reload outcomes. Everything
@@ -139,6 +140,10 @@ type Metrics struct {
 	// /metrics govern block. Set once at server construction, before any
 	// handler runs.
 	governStats func() govern.Stats
+
+	// ingestStats, when non-nil, snapshots the ingest sink for the /metrics
+	// ingest block. Set once at server construction, like governStats.
+	ingestStats func() IngestStats
 
 	start time.Time
 }
@@ -230,6 +235,9 @@ type metricsJSON struct {
 	// degraded state and per-reason shed counters. Absent when no governor
 	// is installed.
 	Govern *governJSON `json:"govern,omitempty"`
+	// Ingest is the segment-log block: segment counts, bytes, pending
+	// transactions and last-refresh cost. Absent when ingest is disabled.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 }
 
 // governJSON is the admission block of the /metrics document.
@@ -275,6 +283,10 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 	if m.governStats != nil {
 		st := m.governStats()
 		doc.Govern = &governJSON{Stats: st, ShedTotal: st.Shed()}
+	}
+	if m.ingestStats != nil {
+		st := m.ingestStats()
+		doc.Ingest = &st
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

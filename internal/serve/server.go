@@ -48,6 +48,7 @@ type Server struct {
 	reqTimeout time.Duration      // per-request deadline (0 = none)
 	gov        *govern.Controller // admission control (nil = admit everything)
 	maxBody    int64              // POST body bound in bytes (0 = default, <0 = none)
+	ingest     IngestSink         // POST /ingest backend (nil = endpoint disabled)
 
 	reloadMu  sync.Mutex  // serializes loads; readers never touch it
 	reloading atomic.Bool // a reload is in flight (coalesces triggers)
@@ -110,6 +111,9 @@ func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, err
 	}
 	if s.gov != nil {
 		s.metrics.governStats = s.gov.Stats
+	}
+	if s.ingest != nil {
+		s.metrics.ingestStats = s.ingest.Stats
 	}
 	snap, err := s.loadChecked(ctx)
 	if err != nil {

@@ -26,61 +26,72 @@ const (
 	formatVersion = 1
 )
 
+// headerSize is the fixed byte length of the version-1 header: the magic,
+// one uvarint byte for the version, and the 8-byte fixed-width count.
+const headerSize = len(magic) + 1 + 8
+
 // Writer streams transactions into the binary format. Transactions must be
 // written in non-decreasing TID order.
 type Writer struct {
-	w       *bufio.Writer
-	buf     [binary.MaxVarintLen64]byte
-	lastTID int64
-	count   int
-	started bool
-	ws      io.WriteSeeker
+	w     *bufio.Writer
+	enc   Encoder
+	rec   []byte
+	count int
+	ws    io.WriteSeeker
+	f     *os.File // set when the Writer owns the file (OpenAppend)
 }
 
 // NewWriter creates a Writer over ws. The transaction count is back-patched
 // into the header on Close, so ws must support seeking (os.File does).
 func NewWriter(ws io.WriteSeeker) (*Writer, error) {
 	w := &Writer{w: bufio.NewWriterSize(ws, 1<<16), ws: ws}
-	if _, err := w.w.WriteString(magic); err != nil {
-		return nil, err
-	}
-	w.putUvarint(formatVersion)
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = binary.AppendUvarint(hdr, formatVersion)
 	// Fixed-width placeholder for the count so it can be patched in place.
 	var fixed [8]byte
-	if _, err := w.w.Write(fixed[:]); err != nil {
+	hdr = append(hdr, fixed[:]...)
+	if _, err := w.w.Write(hdr); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
-func (w *Writer) putUvarint(x uint64) {
-	n := binary.PutUvarint(w.buf[:], x)
-	w.w.Write(w.buf[:n])
-}
-
 // Write appends one transaction.
 func (w *Writer) Write(tx Transaction) error {
-	if w.started && tx.TID < w.lastTID {
-		return fmt.Errorf("txdb: TID %d out of order (previous %d)", tx.TID, w.lastTID)
+	rec, err := w.enc.AppendRecord(w.rec[:0], tx)
+	if err != nil {
+		return err
 	}
-	if tx.TID < 0 {
-		return fmt.Errorf("txdb: negative TID %d", tx.TID)
-	}
-	w.putUvarint(uint64(tx.TID - w.lastTID))
-	w.lastTID = tx.TID
-	w.started = true
-	w.putUvarint(uint64(len(tx.Items)))
-	prev := int64(-1)
-	for _, it := range tx.Items {
-		w.putUvarint(uint64(int64(it) - prev))
-		prev = int64(it)
+	w.rec = rec
+	if _, err := w.w.Write(rec); err != nil {
+		return err
 	}
 	w.count++
 	return nil
 }
 
-// Close flushes buffered data and back-patches the transaction count.
+// Count returns the number of transactions written so far (including, for a
+// Writer from OpenAppend, the transactions already in the file).
+func (w *Writer) Count() int { return w.count }
+
+// LastTID returns the TID of the most recently written transaction (0 when
+// nothing has been written).
+func (w *Writer) LastTID() int64 { return w.enc.LastTID() }
+
+// Close flushes buffered data and back-patches the transaction count. A
+// Writer from OpenAppend also closes its file.
 func (w *Writer) Close() error {
+	err := w.close()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (w *Writer) close() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}

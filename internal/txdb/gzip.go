@@ -18,48 +18,25 @@ func isGzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
 // through a gzip compressor.
 func writeAll(w io.Writer, db DB) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(magic); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	put := func(x uint64) error {
-		n := binary.PutUvarint(buf[:], x)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := put(formatVersion); err != nil {
-		return err
-	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = binary.AppendUvarint(hdr, formatVersion)
 	var fixed [8]byte
 	binary.LittleEndian.PutUint64(fixed[:], uint64(db.Count()))
-	if _, err := bw.Write(fixed[:]); err != nil {
+	hdr = append(hdr, fixed[:]...)
+	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
-	lastTID := int64(0)
-	started := false
+	var enc Encoder
+	var rec []byte
 	err := db.Scan(func(tx Transaction) error {
-		if started && tx.TID < lastTID {
-			return fmt.Errorf("txdb: TID %d out of order (previous %d)", tx.TID, lastTID)
-		}
-		if tx.TID < 0 {
-			return fmt.Errorf("txdb: negative TID %d", tx.TID)
-		}
-		if err := put(uint64(tx.TID - lastTID)); err != nil {
+		var err error
+		rec, err = enc.AppendRecord(rec[:0], tx)
+		if err != nil {
 			return err
 		}
-		lastTID = tx.TID
-		started = true
-		if err := put(uint64(len(tx.Items))); err != nil {
-			return err
-		}
-		prev := int64(-1)
-		for _, it := range tx.Items {
-			if err := put(uint64(int64(it) - prev)); err != nil {
-				return err
-			}
-			prev = int64(it)
-		}
-		return nil
+		_, err = bw.Write(rec)
+		return err
 	})
 	if err != nil {
 		return err
