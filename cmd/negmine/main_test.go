@@ -212,15 +212,15 @@ func TestJSONServeRoundTrip(t *testing.T) {
 		return false
 	}
 	// The rule is reachable from both sides of the index.
-	if got := snap.QueryItem("pepsi", 0, 0); !hasPepsiChips(got) {
+	if got := snap.QueryEntries("pepsi", 0, 0); !hasPepsiChips(got) {
 		t.Errorf("QueryItem(pepsi) missing {pepsi} =/=> {chips}: %v", got)
 	}
-	if got := snap.QueryItem("chips", 0, 0); !hasPepsiChips(got) {
+	if got := snap.QueryEntries("chips", 0, 0); !hasPepsiChips(got) {
 		t.Errorf("QueryItem(chips) missing {pepsi} =/=> {chips}: %v", got)
 	}
 	// And a basket containing pepsi triggers it.
 	triggered := false
-	for _, m := range snap.Score([]string{"pepsi"}, 0, 0) {
+	for _, m := range snap.Matches([]string{"pepsi"}, 0, 0) {
 		if isPepsiChips(m.Rule) && m.Triggers["pepsi"] == "pepsi" {
 			triggered = true
 		}

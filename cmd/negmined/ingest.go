@@ -31,12 +31,13 @@ type ingestController struct {
 	pending    atomic.Int64                 // txns appended since last refresh start
 	refreshes  atomic.Int64                 // completed refreshes
 	remineTxns int64                        // pending threshold that triggers a re-mine (0 = off)
+	cacheSize  int                          // hot-item query cache bound (serve.Meta.CacheSize)
 }
 
 // newIngestController opens (or creates) the segment log, seeds it from
 // dataPath when the log is empty and a seed is given, and returns the
 // controller ready to be wired into a Server.
-func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns int) (*ingestController, error) {
+func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns, cacheSize int) (*ingestController, error) {
 	tax, err := loadTaxonomy(taxPath)
 	if err != nil {
 		return nil, err
@@ -51,6 +52,7 @@ func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOpti
 		tax:        tax,
 		opt:        opt,
 		remineTxns: int64(remineTxns),
+		cacheSize:  cacheSize,
 	}
 	if dataPath != "" && log.Count() == 0 {
 		if err := c.seed(dataPath); err != nil {
@@ -119,6 +121,7 @@ func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
 		Source:     "ingest " + c.log.Dir(),
 		MinSupport: c.opt.MinSupport,
 		MinRI:      c.opt.MinRI,
+		CacheSize:  c.cacheSize,
 	}
 	return serve.BuildSnapshot(st, c.tax, meta), nil
 }

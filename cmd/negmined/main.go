@@ -50,6 +50,7 @@
 //	-max-queue n      bounded admission queue (requires -max-concurrent)
 //	-max-rps f        per-endpoint token-bucket rate limit
 //	-max-body size    POST body bound (default 1MiB; "off" disables)
+//	-cache n          hot-item query cache entries (default 4096; -1 disables)
 //	-mem-budget size  re-mining memory budget (default auto: 80% of the
 //	                  GOMEMLIMIT/cgroup limit; "off" disables)
 //	-ingest-dir dir   segment-log directory; enables streaming mode
@@ -231,6 +232,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		maxConc   = fs.Int("max-concurrent", 0, "adaptive concurrency ceiling; enables admission control (0 = off unless -max-rps is set)")
 		maxQueue  = fs.Int("max-queue", 0, "bounded admission-queue depth; requires -max-concurrent (0 = 4x -max-concurrent)")
 		maxBody   = fs.String("max-body", "", "POST body size bound, e.g. 1MiB (empty = 1MiB, off = unbounded)")
+		cache     = fs.Int("cache", 0, "hot-item query cache entries (0 = default 4096, negative = disabled)")
 		memBudget = fs.String("mem-budget", "auto", "re-mining memory budget, e.g. 2GiB (auto = 80% of GOMEMLIMIT/cgroup limit, off = unlimited)")
 
 		ingestDir   = fs.String("ingest-dir", "", "segment-log directory; enables streaming mode with POST /ingest")
@@ -333,7 +335,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 
 	if *repPath != "" {
 		cfg.source = *repPath
-		cfg.loadFunc = reportLoader(*repPath, *taxPath)
+		cfg.loadFunc = reportLoader(*repPath, *taxPath, *cache)
 		return cfg, nil
 	}
 
@@ -369,7 +371,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	opt.Gen.Count.Mem = mem
 
 	if *ingestDir != "" {
-		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns)
+		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns, *cache)
 		if err != nil {
 			return nil, err
 		}
@@ -381,14 +383,14 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	}
 
 	cfg.source = *dataPath
-	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt)
+	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt, *cache)
 	return cfg, nil
 }
 
 // reportLoader re-reads a report JSON file on every (re)load. The taxonomy
 // is also re-read so a snapshot always pairs the report with the hierarchy
 // it was mined under.
-func reportLoader(repPath, taxPath string) serve.LoadFunc {
+func reportLoader(repPath, taxPath string, cacheSize int) serve.LoadFunc {
 	return func(ctx context.Context) (*serve.Snapshot, error) {
 		tax, err := loadTaxonomy(taxPath)
 		if err != nil {
@@ -408,6 +410,7 @@ func reportLoader(repPath, taxPath string) serve.LoadFunc {
 			Source:     "report " + repPath,
 			MinSupport: rep.MinSupport,
 			MinRI:      rep.MinRI,
+			CacheSize:  cacheSize,
 		}
 		return serve.BuildSnapshot(st, tax, meta), nil
 	}
@@ -416,7 +419,7 @@ func reportLoader(repPath, taxPath string) serve.LoadFunc {
 // mineLoader runs the full mining pipeline on every (re)load — hot
 // re-mining. Data and taxonomy are re-read each time so dropping a fresh
 // file in place plus /reload (or -watch) picks it up.
-func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions) serve.LoadFunc {
+func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions, cacheSize int) serve.LoadFunc {
 	return func(ctx context.Context) (*serve.Snapshot, error) {
 		tax, err := loadTaxonomy(taxPath)
 		if err != nil {
@@ -435,6 +438,7 @@ func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions) serve.Loa
 			Source:     "mined " + dataPath,
 			MinSupport: opt.MinSupport,
 			MinRI:      opt.MinRI,
+			CacheSize:  cacheSize,
 		}
 		return serve.BuildSnapshot(st, tax, meta), nil
 	}

@@ -197,7 +197,7 @@ func driveOverloadLevel(h http.Handler, body string, mult, offeredRPS float64, d
 	if lvl.Requests > 0 {
 		lvl.ShedRate = float64(shed) / float64(lvl.Requests)
 	}
-	p50, p99 := latencyQuantiles(admitted)
+	p50, p99, _ := latencyQuantiles(admitted)
 	lvl.AdmittedP50Micros = p50.Seconds() * 1e6
 	lvl.AdmittedP99Micros = p99.Seconds() * 1e6
 	return lvl, nil

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -15,8 +17,9 @@ import (
 )
 
 // ServingBench is the BENCH_serving.json payload for one dataset: how long
-// the serving snapshot takes to build from a mined rule set, and how fast
-// item lookups (the /rules hot path) run against it.
+// the serving snapshot takes to build from a mined rule set, how fast item
+// lookups (the /rules hot path) and basket scoring (the /score hot path)
+// run against it, and what the arena/bitmap layout costs in memory.
 type ServingBench struct {
 	Dataset      string  `json:"dataset"`
 	MinSupPct    float64 `json:"minsup_pct"`
@@ -25,20 +28,31 @@ type ServingBench struct {
 	IndexedItems int     `json:"indexed_items"`
 
 	// Snapshot build: best-of-reps wall time for BuildSnapshot (store →
-	// immutable indexed snapshot), the work a /reload pays beyond mining.
+	// immutable indexed snapshot), the work a /reload pays beyond mining,
+	// and the resident size of the resulting layout.
 	BuildSeconds float64 `json:"snapshot_build_seconds"`
+	ArenaBytes   int64   `json:"arena_bytes"`
+	IndexBytes   int64   `json:"index_bytes"`
 
 	// Lookup benchmark: single-goroutine QueryItem calls over the rule
-	// set's item vocabulary.
-	Lookups          int     `json:"lookups"`
-	LookupsPerSecond float64 `json:"lookups_per_second"`
-	LookupP50Micros  float64 `json:"lookup_p50_us"`
-	LookupP99Micros  float64 `json:"lookup_p99_us"`
+	// set's item vocabulary, after one warmup pass that fills the hot-item
+	// cache (so the steady state measured here is the served steady state).
+	Lookups           int     `json:"lookups"`
+	LookupsPerSecond  float64 `json:"lookups_per_second"`
+	LookupNsPerOp     float64 `json:"lookup_ns_per_op"`
+	LookupAllocsPerOp float64 `json:"lookup_allocs_per_op"`
+	LookupP50Micros   float64 `json:"lookup_p50_us"`
+	LookupP99Micros   float64 `json:"lookup_p99_us"`
+	LookupP999Micros  float64 `json:"lookup_p999_us"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
 
 	// Score benchmark: /score's basket evaluation with 3-item baskets.
-	Scores          int     `json:"scores"`
-	ScoresPerSecond float64 `json:"scores_per_second"`
-	ScoreP99Micros  float64 `json:"score_p99_us"`
+	Scores           int     `json:"scores"`
+	ScoresPerSecond  float64 `json:"scores_per_second"`
+	ScoreNsPerOp     float64 `json:"score_ns_per_op"`
+	ScoreAllocsPerOp float64 `json:"score_allocs_per_op"`
+	ScoreP99Micros   float64 `json:"score_p99_us"`
+	ScoreP999Micros  float64 `json:"score_p999_us"`
 }
 
 // RunServingBench mines ds once, then measures snapshot construction and
@@ -105,52 +119,90 @@ func RunServingBench(ds *Dataset, minSupPct, minRI float64, genAlg gen.Algorithm
 		Rules:        info.Rules,
 		IndexedItems: info.IndexedItems,
 		BuildSeconds: best.Seconds(),
+		ArenaBytes:   info.ArenaBytes,
+		IndexBytes:   info.IndexBytes,
 	}
 
-	// Item lookups (the /rules hot path).
+	// Item lookups (the /rules hot path). One untimed pass over the
+	// vocabulary fills the hot-item cache and the scratch pools; the timed
+	// loop then measures the served steady state through the same zero-copy
+	// QueryShared call the /rules handler uses.
+	ctx := context.Background()
+	var sink int
+	for _, it := range items {
+		ids, _ := snap.QueryShared(ctx, it, minRI, 0)
+		sink += len(ids)
+	}
+	statsBefore := snap.CacheStats()
+
 	lat := make([]time.Duration, lookups)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for i := 0; i < lookups; i++ {
 		q := time.Now()
-		snap.QueryItem(items[i%len(items)], minRI, 0)
+		ids, _ := snap.QueryShared(ctx, items[i%len(items)], minRI, 0)
+		sink += len(ids)
 		lat[i] = time.Since(q)
 	}
+	_ = sink
 	total := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	out.Lookups = lookups
 	out.LookupsPerSecond = float64(lookups) / total.Seconds()
-	p50, p99 := latencyQuantiles(lat)
+	out.LookupNsPerOp = float64(total.Nanoseconds()) / float64(lookups)
+	out.LookupAllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(lookups)
+	p50, p99, p999 := latencyQuantiles(lat)
 	out.LookupP50Micros = p50.Seconds() * 1e6
 	out.LookupP99Micros = p99.Seconds() * 1e6
+	out.LookupP999Micros = p999.Seconds() * 1e6
+	if after := snap.CacheStats(); after != nil && statsBefore != nil {
+		hits := after.Hits - statsBefore.Hits
+		misses := after.Misses - statsBefore.Misses
+		if hits+misses > 0 {
+			out.CacheHitRate = float64(hits) / float64(hits+misses)
+		}
+	}
 
 	// Basket scoring (the /score hot path), 3-item baskets over the vocab.
 	scores := lookups / 2
 	if scores < 1 {
 		scores = 1
 	}
-	lat = lat[:0]
+	basket := make([]string, 3)
+	fill := func(i int) {
+		basket[0] = items[i%len(items)]
+		basket[1] = items[(i*7+1)%len(items)]
+		basket[2] = items[(i*13+2)%len(items)]
+	}
+	fill(0)
+	dst := make([]serve.RuleID, 0, snap.Len())
+	dst = snap.Score(dst[:0], basket, minRI, 0) // warm the scratch pool
+	lat = lat[:scores]
+	runtime.ReadMemStats(&msBefore)
 	start = time.Now()
 	for i := 0; i < scores; i++ {
-		basket := []string{
-			items[i%len(items)],
-			items[(i*7+1)%len(items)],
-			items[(i*13+2)%len(items)],
-		}
+		fill(i)
 		q := time.Now()
-		snap.Score(basket, minRI, 0)
-		lat = append(lat, time.Since(q))
+		dst = snap.Score(dst[:0], basket, minRI, 0)
+		lat[i] = time.Since(q)
 	}
 	total = time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	out.Scores = scores
 	out.ScoresPerSecond = float64(scores) / total.Seconds()
-	_, p99 = latencyQuantiles(lat)
+	out.ScoreNsPerOp = float64(total.Nanoseconds()) / float64(scores)
+	out.ScoreAllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(scores)
+	_, p99, p999 = latencyQuantiles(lat)
 	out.ScoreP99Micros = p99.Seconds() * 1e6
+	out.ScoreP999Micros = p999.Seconds() * 1e6
 	return out, nil
 }
 
-// latencyQuantiles returns the exact p50 and p99 of the sample.
-func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
+// latencyQuantiles returns the exact p50, p99 and p999 of the sample.
+func latencyQuantiles(lat []time.Duration) (p50, p99, p999 time.Duration) {
 	if len(lat) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	s := append([]time.Duration(nil), lat...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
@@ -158,7 +210,7 @@ func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
 		i := int(q * float64(len(s)-1))
 		return s[i]
 	}
-	return at(0.50), at(0.99)
+	return at(0.50), at(0.99), at(0.999)
 }
 
 // WriteServingJSON renders serving benchmarks (and, when run, the overload
@@ -173,7 +225,7 @@ func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*
 		Overload    []*OverloadBench `json:"overload,omitempty"`
 		Ingest      []*IngestBench   `json:"ingest,omitempty"`
 	}{
-		Description: "Serving layer: snapshot build time and QueryItem/Score throughput and latency on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench)",
+		Description: "Serving layer: snapshot build time and QueryItem/Score throughput, latency and allocations on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench)",
 		Scale:       scale,
 		Benches:     rows,
 		Overload:    overload,
@@ -184,9 +236,14 @@ func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*
 // PrintServing renders serving benchmarks as a human-readable summary.
 func PrintServing(w io.Writer, rows []*ServingBench) {
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s (minsup %.2f%%): %d rules, %d items; build %.2fms; lookups %.0f/s p50 %.1fµs p99 %.1fµs; score %.0f/s p99 %.1fµs\n",
+		fmt.Fprintf(w, "%s (minsup %.2f%%): %d rules, %d items; build %.2fms; arena %dKB index %dKB\n",
 			r.Dataset, r.MinSupPct, r.Rules, r.IndexedItems,
-			r.BuildSeconds*1e3, r.LookupsPerSecond, r.LookupP50Micros, r.LookupP99Micros,
-			r.ScoresPerSecond, r.ScoreP99Micros)
+			r.BuildSeconds*1e3, r.ArenaBytes/1024, r.IndexBytes/1024)
+		fmt.Fprintf(w, "  lookups %.0f/s (%.0fns/op, %.2f allocs/op) p50 %.1fµs p99 %.1fµs p999 %.1fµs cache-hit %.1f%%\n",
+			r.LookupsPerSecond, r.LookupNsPerOp, r.LookupAllocsPerOp,
+			r.LookupP50Micros, r.LookupP99Micros, r.LookupP999Micros, r.CacheHitRate*100)
+		fmt.Fprintf(w, "  scores  %.0f/s (%.0fns/op, %.2f allocs/op) p99 %.1fµs p999 %.1fµs\n",
+			r.ScoresPerSecond, r.ScoreNsPerOp, r.ScoreAllocsPerOp,
+			r.ScoreP99Micros, r.ScoreP999Micros)
 	}
 }

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"negmine/internal/gen"
+)
+
+// TestServebenchSmoke is the CI performance floor for the query path: it
+// mines the paper's Short and Tall datasets, builds both serving snapshots,
+// runs the full serving benchmark, and fails when Tall's lookup throughput
+// drops below a checked-in floor. Gated on NEGMINE_SERVEBENCH (set by the
+// servebench-smoke CI job; an integer overrides the default floor), since a
+// throughput assertion is meaningless on an arbitrarily loaded dev machine.
+//
+// The floor is deliberately far below the ~200k+ lookups/sec the arena
+// layout reaches on idle hardware, but far above the ~650/sec the old
+// per-query map/sort layout managed on Tall — it catches a regression to
+// the old complexity class, not scheduler noise.
+func TestServebenchSmoke(t *testing.T) {
+	env := os.Getenv("NEGMINE_SERVEBENCH")
+	if env == "" {
+		t.Skip("set NEGMINE_SERVEBENCH=1 (or a lookups/sec floor) to run the serving floor test")
+	}
+	floor := 20000.0
+	if v, err := strconv.Atoi(env); err == nil && v > 1 {
+		floor = float64(v)
+	}
+
+	rows := make([]*ServingBench, 0, 2)
+	for _, build := range []func(int, int64) (*Dataset, error){Short, Tall} {
+		ds, err := build(10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := RunServingBench(ds, 1.0, 0.5, gen.Cumulate, 0, 0, 1, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	var buf bytes.Buffer
+	PrintServing(&buf, rows)
+	t.Logf("\n%s", buf.String())
+
+	tall := rows[1]
+	if tall.LookupsPerSecond < floor {
+		t.Errorf("Tall lookups/sec = %.0f, below floor %.0f — query-path regression",
+			tall.LookupsPerSecond, floor)
+	}
+	for _, r := range rows {
+		if r.LookupAllocsPerOp > 0.5 {
+			t.Errorf("%s lookup allocs/op = %.2f, want ~0 (steady state must not allocate)",
+				r.Dataset, r.LookupAllocsPerOp)
+		}
+		if r.ScoreAllocsPerOp > 0.5 {
+			t.Errorf("%s score allocs/op = %.2f, want ~0", r.Dataset, r.ScoreAllocsPerOp)
+		}
+		if r.CacheHitRate <= 0 {
+			t.Errorf("%s cache hit rate = %v, want > 0 after a warmed run", r.Dataset, r.CacheHitRate)
+		}
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	lat := make([]time.Duration, 1000)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Microsecond
+	}
+	p50, p99, p999 := latencyQuantiles(lat)
+	if p50 != 500*time.Microsecond || p99 != 990*time.Microsecond || p999 != 999*time.Microsecond {
+		t.Fatalf("quantiles = %v %v %v", p50, p99, p999)
+	}
+	if a, b, c := latencyQuantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+}

@@ -93,6 +93,47 @@ func (m *Matrix) set(r int32, tid int) {
 	m.bits[int(r)*m.words+tid>>6] |= 1 << uint(tid&63)
 }
 
+// Set marks position pos in item x's row and reports whether x has a row.
+// It is the position-by-position builder used by callers that assemble a
+// matrix from something other than a database scan — e.g. the serving
+// snapshot, which builds rule posting lists by setting bit (x, ruleID) for
+// every rule mentioning x.
+func (m *Matrix) Set(x item.Item, pos int) bool {
+	r, ok := m.index[x]
+	if !ok {
+		return false
+	}
+	m.set(r, pos)
+	return true
+}
+
+// NextSet returns the position of the first set bit at or after from in
+// row, or -1 when no further bit is set. Iterating
+//
+//	for i := NextSet(row, 0); i >= 0; i = NextSet(row, i+1) { ... }
+//
+// visits the set positions in ascending order — the rank-select walk query
+// layers use to enumerate a bitmap posting list in presorted order.
+func NextSet(row []uint64, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> 6
+	if w >= len(row) {
+		return -1
+	}
+	// Mask off bits below from in the first word, then scan whole words.
+	if word := row[w] >> uint(from&63); word != 0 {
+		return from + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(row); w++ {
+		if row[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(row[w])
+		}
+	}
+	return -1
+}
+
 // Transform maps a transaction's itemset before bits are set, appending the
 // result into dst (a reusable buffer). It mirrors count.TransformInto
 // structurally so the two packages stay decoupled.

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"negmine/internal/report"
+	"negmine/internal/rulestore"
+)
+
+func TestCacheHitMissEvictionLRU(t *testing.T) {
+	c := newQueryCache(2)
+	ctx := context.Background()
+	compute := func(ids ...RuleID) func([]RuleID) ([]RuleID, error) {
+		return func(dst []RuleID) ([]RuleID, error) { return append(dst, ids...), nil }
+	}
+	key := func(name string) queryKey { return queryKey{name: name} }
+
+	if _, ok := c.get(key("a")); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if got, err := c.do(ctx, key("a"), nil, compute(1, 2)); err != nil || len(got) != 2 {
+		t.Fatalf("do(a) = %v, %v", got, err)
+	}
+	if ids, ok := c.get(key("a")); !ok || len(ids) != 2 || ids[0] != 1 {
+		t.Fatalf("get(a) after fill = %v, %v", ids, ok)
+	}
+	c.do(ctx, key("b"), nil, compute(3))
+	c.get(key("a")) // touch a: b becomes LRU
+	c.do(ctx, key("c"), nil, compute(4))
+	if _, ok := c.get(key("b")); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get(key("a")); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 || st.HitRate <= 0 || st.HitRate >= 1 {
+		t.Fatalf("counter stats = %+v", st)
+	}
+}
+
+func TestCacheKeyIncludesThresholdAndLimit(t *testing.T) {
+	snap := testSnapshot(t)
+	if a, b := snap.QueryItem(nil, "pepsi", 0, 0), snap.QueryItem(nil, "pepsi", 0.5, 0); len(a) == len(b) {
+		t.Fatalf("distinct thresholds returned same result sizes: %d vs %d", len(a), len(b))
+	}
+	if a, b := snap.QueryItem(nil, "pepsi", 0, 0), snap.QueryItem(nil, "pepsi", 0, 1); len(a) <= len(b) {
+		t.Fatalf("limit ignored: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestCacheSingleflightCoalesces(t *testing.T) {
+	c := newQueryCache(8)
+	key := queryKey{name: "hot"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+
+	leaderDone := make(chan []RuleID)
+	go func() {
+		ids, _ := c.do(context.Background(), key, nil, func(dst []RuleID) ([]RuleID, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return append(dst, 7), nil
+		})
+		leaderDone <- ids
+	}()
+	<-started
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]RuleID, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids, err := c.do(context.Background(), key, nil, func(dst []RuleID) ([]RuleID, error) {
+				computes.Add(1)
+				return append(dst, 7), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = ids
+		}(i)
+	}
+	// Wait until every waiter has joined the in-progress flight (coalesced
+	// is counted before parking), then release the leader.
+	for c.coalesced.Load() < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	ids := <-leaderDone
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("leader result = %v", ids)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0] != 7 {
+			t.Fatalf("waiter %d result = %v", i, r)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", n)
+	}
+	if st := c.stats(); st.Coalesced == 0 {
+		t.Fatalf("no coalesced lookups recorded: %+v", st)
+	}
+}
+
+func TestCacheFailedFlightFallsBack(t *testing.T) {
+	c := newQueryCache(8)
+	key := queryKey{name: "flaky"}
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		c.do(context.Background(), key, nil, func(dst []RuleID) ([]RuleID, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The waiter's own compute succeeds after the leader's failed.
+		ids, err := c.do(context.Background(), key, nil, func(dst []RuleID) ([]RuleID, error) {
+			return append(dst, 9), nil
+		})
+		if err != nil || len(ids) != 1 || ids[0] != 9 {
+			t.Errorf("fallback compute = %v, %v", ids, err)
+		}
+	}()
+	close(release)
+	<-done
+
+	// A cancelled waiter gives up without computing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release2 := make(chan struct{})
+	restarted := make(chan struct{})
+	go func() {
+		c.do(context.Background(), queryKey{name: "slow"}, nil, func(dst []RuleID) ([]RuleID, error) {
+			close(restarted)
+			<-release2
+			return dst, nil
+		})
+	}()
+	<-restarted
+	if _, err := c.do(ctx, queryKey{name: "slow"}, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	close(release2)
+}
+
+// TestSwapUnderLoad hammers a Server with concurrent QueryItem/Score readers
+// while reloads swap versioned snapshots underneath them. Every observed
+// result must be internally consistent with exactly one snapshot version —
+// the atomic-swap + per-snapshot-cache coherence contract. Run with -race.
+func TestSwapUnderLoad(t *testing.T) {
+	// Version v's store has one rule {item} =/=> {v-consequent} per item, so
+	// any query result self-identifies its snapshot version.
+	buildVersion := func(v int) *rulestore.Store {
+		rep := &report.NegativeReport{}
+		for i := 0; i < 8; i++ {
+			rep.Rules = append(rep.Rules, report.NegativeRuleRecord{
+				Antecedent:   []string{fmt.Sprintf("item%d", i)},
+				Consequent:   []string{fmt.Sprintf("v%d", v)},
+				RuleInterest: 0.5,
+			})
+		}
+		return rulestore.FromReport(rep)
+	}
+	var version atomic.Int64
+	load := func(ctx context.Context) (*Snapshot, error) {
+		v := version.Load()
+		return BuildSnapshot(buildVersion(int(v)), nil, Meta{Source: fmt.Sprintf("v%d", v)}), nil
+	}
+	srv, err := NewServer(context.Background(), load, WithLogger(func(string, ...any) {}))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]RuleID, 0, 16)
+			basket := []string{"item0", "item3"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := srv.Snapshot()
+				want := snap.Info().Source // "vN"
+				item := fmt.Sprintf("item%d", i%8)
+				dst = snap.QueryItem(dst[:0], item, 0, 0)
+				if len(dst) != 1 {
+					t.Errorf("reader %d: QueryItem(%s) returned %d rules, want 1", g, item, len(dst))
+					return
+				}
+				if got := snap.Entry(dst[0]).Consequent[0]; got != want {
+					t.Errorf("reader %d: rule from snapshot %s has consequent %s (torn snapshot)", g, want, got)
+					return
+				}
+				dst = snap.Score(dst[:0], basket, 0, 0)
+				for _, id := range dst {
+					if got := snap.Entry(id).Consequent[0]; got != want {
+						t.Errorf("reader %d: Score on snapshot %s saw %s", g, want, got)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for v := 1; v <= 30; v++ {
+		version.Store(int64(v))
+		if err := srv.Reload(context.Background()); err != nil {
+			t.Fatalf("reload v%d: %v", v, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final snapshot's cache is private to it and starts cold at swap:
+	// its stats must describe only post-swap traffic.
+	if st := srv.Snapshot().CacheStats(); st == nil {
+		t.Fatal("cache disabled on served snapshot")
+	} else if st.Entries > st.Capacity {
+		t.Fatalf("cache overflow: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"negmine/internal/fault"
@@ -256,22 +257,32 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	snap := s.Snapshot()
-	entries, err := snap.QueryItemCtx(r.Context(), item, minRI, limit)
+	// Zero-copy read of the cached result: ids is shared with the snapshot's
+	// cache and only iterated here, never retained or modified.
+	ids, err := snap.QueryShared(r.Context(), item, minRI, limit)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "query aborted: %v", err)
 		return
 	}
 	resp := rulesResponse{
 		Item:     item,
-		Expanded: snap.Expand(item),
+		Expanded: snap.Expand(nil, item),
 		MinRI:    minRI,
-		Rules:    make([]RuleJSON, len(entries)),
+		Rules:    make([]RuleJSON, len(ids)),
 	}
-	for i, e := range entries {
-		resp.Rules[i] = ruleJSON(e)
+	for i, id := range ids {
+		resp.Rules[i] = ruleJSON(snap.Entry(id))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// idBufPool recycles the RuleID result buffers of /score, so the snapshot's
+// allocation-free score path stays allocation-free across requests (only the
+// JSON rendering allocates).
+var idBufPool = sync.Pool{New: func() any {
+	buf := make([]RuleID, 0, 1024)
+	return &buf
+}}
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -301,19 +312,26 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		minRI = *req.MinRI
 	}
 	snap := s.Snapshot()
-	matches, err := snap.ScoreCtx(r.Context(), req.Basket, minRI, req.Limit)
+	buf := idBufPool.Get().(*[]RuleID)
+	ids, err := snap.ScoreCtx(r.Context(), (*buf)[:0], req.Basket, minRI, req.Limit)
+	*buf = ids[:0]
 	if err != nil {
+		idBufPool.Put(buf)
 		writeError(w, http.StatusServiceUnavailable, "scoring aborted: %v", err)
 		return
 	}
 	resp := scoreResponse{
 		Basket:  req.Basket,
 		MinRI:   minRI,
-		Matches: make([]MatchJSON, len(matches)),
+		Matches: make([]MatchJSON, len(ids)),
 	}
-	for i, m := range matches {
-		resp.Matches[i] = MatchJSON{RuleJSON: ruleJSON(m.Rule), Triggers: m.Triggers}
+	for i, id := range ids {
+		resp.Matches[i] = MatchJSON{
+			RuleJSON: ruleJSON(snap.Entry(id)),
+			Triggers: snap.Triggers(id, req.Basket),
+		}
 	}
+	idBufPool.Put(buf)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -89,10 +89,10 @@ func TestQueryCtxCancelled(t *testing.T) {
 	snap := BuildSnapshot(bigStore(2000), nil, Meta{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := snap.QueryItemCtx(ctx, "pepsi", 0, 0); !errors.Is(err, context.Canceled) {
+	if _, err := snap.QueryItemCtx(ctx, nil, "pepsi", 0, 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("QueryItemCtx on cancelled ctx: %v", err)
 	}
-	if _, err := snap.ScoreCtx(ctx, []string{"pepsi"}, 0, 0); !errors.Is(err, context.Canceled) {
+	if _, err := snap.ScoreCtx(ctx, nil, []string{"pepsi"}, 0, 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("ScoreCtx on cancelled ctx: %v", err)
 	}
 }

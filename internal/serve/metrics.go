@@ -230,6 +230,10 @@ type metricsJSON struct {
 	Snapshot struct {
 		SnapshotInfo
 		AgeSeconds float64 `json:"ageSeconds"`
+		// Layout describes the arena + posting-list memory layout; Cache is
+		// the hot-item result cache (absent when caching is disabled).
+		Layout *LayoutInfo `json:"layout,omitempty"`
+		Cache  *CacheStats `json:"cache,omitempty"`
 	} `json:"snapshot"`
 	// Govern is the admission-controller block: AIMD window, queue depth,
 	// degraded state and per-reason shed counters. Absent when no governor
@@ -279,6 +283,9 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 	if snap != nil {
 		doc.Snapshot.SnapshotInfo = snap.Info()
 		doc.Snapshot.AgeSeconds = snap.Age().Seconds()
+		layout := snap.Layout()
+		doc.Snapshot.Layout = &layout
+		doc.Snapshot.Cache = snap.CacheStats()
 	}
 	if m.governStats != nil {
 		st := m.governStats()

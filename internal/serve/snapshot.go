@@ -8,36 +8,97 @@
 // fresh Snapshot that the Server swaps in with an atomic pointer store, so
 // queries never observe a half-built index and never block on a writer. A
 // failed re-mine keeps the previous Snapshot serving.
+//
+// Memory layout. Rules live in a flat struct-of-arrays arena: every
+// rulestore.Entry field is packed into parallel slices indexed by RuleID,
+// with item names interned to dense int32 ids and both rule sides stored in
+// two shared flat slices — no per-rule heap objects, no pointer chasing.
+// RuleID order is serving-rank order (descending RI, ties by signature), so
+// "all rules with RI ≥ t" is the id prefix [0, k) found by one binary
+// search, and enumerating a posting list in ascending id order yields rank
+// order for free.
+//
+// The three per-item indexes — antecedent, consequent, and the
+// taxonomy-ancestor "reach" index (ante ∪ cons closed over ancestor
+// chains) — are compressed bitmap posting lists over RuleIDs built with
+// internal/bitmat: dense word-packed rows for frequent items, sorted id
+// arrays for rare ones, and structure-shared rows for taxonomy nodes whose
+// reach equals an ancestor's. QueryItem is a rank-select walk of one reach
+// posting; Score ORs antecedent postings into a pooled scratch bitmap and
+// subset-checks candidates against a bitset of basket-satisfied items. Both
+// paths are allocation-free in steady state: callers supply result buffers
+// and scratch comes from a sync.Pool.
 package serve
 
 import (
 	"context"
+	"math/bits"
 	"sort"
+	"sync"
 	"time"
 
+	"negmine/internal/bitmat"
 	"negmine/internal/item"
 	"negmine/internal/rulestore"
 	"negmine/internal/taxonomy"
 )
 
+// RuleID identifies one rule in a Snapshot. Ids are dense and assigned in
+// serving-rank order: RuleID 0 is the highest-RI rule, ties broken by
+// signature, so sorting ids is sorting by rank.
+type RuleID int32
+
+// posting is one item's compressed posting list over RuleIDs: either a
+// sorted id array (sparse) or a word-packed bitmap trimmed of trailing zero
+// words (dense), whichever is smaller. Both forms are subslices of shared
+// per-index backing arrays; taxonomy nodes without rules of their own share
+// their nearest indexed ancestor's posting outright (same subslice).
+type posting struct {
+	ids  []int32  // sparse form: ascending rule ids; nil when dense
+	bits []uint64 // dense form: trimmed word-packed bitmap; nil when sparse
+	n    int32    // set bits (list length)
+}
+
+// empty reports whether the posting matches no rules.
+func (p posting) empty() bool { return p.n == 0 }
+
 // Snapshot is one immutable, fully-indexed rule set. All methods are safe
 // for concurrent use; none mutate the receiver.
-//
-// Rules are indexed three ways:
-//
-//   - by antecedent item: every name appearing on a rule's left side,
-//   - by consequent item: every name on the right side,
-//   - by taxonomy ancestor: each item name maps to its ancestor names, so a
-//     query for a leaf (pepsi) also surfaces rules mined at category level
-//     (soft-drinks) — the generalized rules the paper's stage 1 produces.
 type Snapshot struct {
-	// rules are presorted by descending RI (ties by signature), so index
-	// order is serving-rank order: queries union posting lists and sort
-	// plain ints instead of comparing rules.
-	rules  []rulestore.Entry
-	byAnte map[string][]int // item name → indexes into rules, ascending
-	byCons map[string][]int
-	anc    map[string][]string // item name → ancestor names, nearest-first
+	// Rule arena: parallel slices indexed by RuleID (struct-of-arrays).
+	ri       []float64
+	expected []float64
+	actual   []float64
+	// off has 2n+1 entries: rule i's antecedent occupies
+	// side[off[2i]:off[2i+1]] and its consequent side[off[2i+1]:off[2i+2]]
+	// of the two flat side arrays (names sorted within each side, ids
+	// parallel to names).
+	off       []uint32
+	sideIDs   []int32
+	sideNames []string
+
+	// Item intern table and the flattened taxonomy-ancestor chains:
+	// item id x's ancestors (nearest-first) are ancIDs[ancOff[x]:ancOff[x+1]].
+	itemID map[string]int32
+	names  []string
+	ancOff []uint32
+	ancIDs []int32
+
+	// Posting-list indexes, all indexed by interned item id:
+	// ante/cons match rules mentioning the item on that side; reach is the
+	// taxonomy-ancestor index (ante ∪ cons of the item and every ancestor),
+	// making QueryItem a single-posting walk.
+	ante  []posting
+	cons  []posting
+	reach []posting
+
+	ruleWords  int   // words per rule bitmap: ceil(len(ri)/64)
+	itemWords  int   // words per item bitset: ceil(len(names)/64)
+	arenaBytes int64 // arena slice footprint (headers + payload, excl. string bytes)
+	indexBytes int64 // posting-list footprint
+
+	scratch sync.Pool   // *queryScratch
+	cache   *queryCache // hot-item result cache; nil when disabled
 
 	built    time.Time     // when the snapshot finished building
 	buildDur time.Duration // how long indexing took
@@ -46,10 +107,21 @@ type Snapshot struct {
 	minRI    float64
 }
 
+// queryScratch is the pooled per-query working set: a rule bitmap for
+// accumulating candidate ids, an item bitset for the basket-satisfied set,
+// and the list of marked item ids (so Score walks only what it set).
+type queryScratch struct {
+	rules []uint64
+	items []uint64
+	ids   []int32
+}
+
 // SnapshotInfo is the metadata block surfaced by /healthz and /metrics.
 type SnapshotInfo struct {
 	Rules        int       `json:"rules"`
 	IndexedItems int       `json:"indexedItems"`
+	ArenaBytes   int64     `json:"arenaBytes"`
+	IndexBytes   int64     `json:"indexBytes"`
 	Built        time.Time `json:"built"`
 	BuildSeconds float64   `json:"buildSeconds"`
 	Source       string    `json:"source,omitempty"`
@@ -57,54 +129,24 @@ type SnapshotInfo struct {
 	MinRI        float64   `json:"minRI,omitempty"`
 }
 
-// BuildSnapshot indexes a rule store. tax supplies the ancestor index and
-// may be nil (queries then match exact item names only). meta describes
-// provenance; its zero value is fine.
-func BuildSnapshot(st *rulestore.Store, tax *taxonomy.Taxonomy, meta Meta) *Snapshot {
-	start := time.Now()
-	s := &Snapshot{
-		rules:  make([]rulestore.Entry, 0, st.Len()),
-		byAnte: map[string][]int{},
-		byCons: map[string][]int{},
-		anc:    map[string][]string{},
-		source: meta.Source,
-		minSup: meta.MinSupport,
-		minRI:  meta.MinRI,
-	}
-	st.Each(func(e rulestore.Entry) bool {
-		s.rules = append(s.rules, e)
-		return true
-	})
-	// Each yields signature order; re-sort by descending RI so that index
-	// order is rank order (the signature order from Each breaks RI ties,
-	// keeping the result deterministic).
-	sort.SliceStable(s.rules, func(i, j int) bool { return s.rules[i].RI > s.rules[j].RI })
-	for i, e := range s.rules {
-		for _, n := range e.Antecedent {
-			s.byAnte[n] = append(s.byAnte[n], i)
-		}
-		for _, n := range e.Consequent {
-			s.byCons[n] = append(s.byCons[n], i)
-		}
-	}
-	if tax != nil {
-		// Ancestor chains for every node the taxonomy knows. Chains are
-		// resolved to names once at build time so queries are pure map hits.
-		for id := 0; id < tax.Size(); id++ {
-			ancs := tax.AncestorsOf(item.Item(id))
-			if len(ancs) == 0 {
-				continue
-			}
-			names := make([]string, len(ancs))
-			for j, a := range ancs {
-				names[j] = tax.Name(a)
-			}
-			s.anc[tax.Name(item.Item(id))] = names
-		}
-	}
-	s.buildDur = time.Since(start)
-	s.built = time.Now()
-	return s
+// IndexInfo describes one posting-list index for /metrics: how many items
+// have entries, total posting entries (set bits), the dense/sparse/shared
+// row split, and resident bytes.
+type IndexInfo struct {
+	Items      int   `json:"items"`
+	Postings   int64 `json:"postings"`
+	DenseRows  int   `json:"denseRows"`
+	SparseRows int   `json:"sparseRows"`
+	SharedRows int   `json:"sharedRows"`
+	Bytes      int64 `json:"bytes"`
+}
+
+// LayoutInfo is the /metrics block describing the snapshot's memory layout.
+type LayoutInfo struct {
+	ArenaBytes int64     `json:"arenaBytes"`
+	Antecedent IndexInfo `json:"antecedent"`
+	Consequent IndexInfo `json:"consequent"`
+	Reach      IndexInfo `json:"reach"`
 }
 
 // Meta carries snapshot provenance recorded at build time.
@@ -112,27 +154,327 @@ type Meta struct {
 	Source     string  // where the rules came from
 	MinSupport float64 // mining thresholds, if known
 	MinRI      float64
+	// CacheSize bounds the hot-item result cache in entries: 0 selects
+	// DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+}
+
+// DefaultCacheSize is the hot-item result cache bound used when
+// Meta.CacheSize is zero.
+const DefaultCacheSize = 4096
+
+// BuildSnapshot indexes a rule store into the flat arena + posting-list
+// layout. tax supplies the ancestor index and may be nil (queries then match
+// exact item names only). meta describes provenance; its zero value is fine.
+func BuildSnapshot(st *rulestore.Store, tax *taxonomy.Taxonomy, meta Meta) *Snapshot {
+	start := time.Now()
+	entries := make([]rulestore.Entry, 0, st.Len())
+	st.Each(func(e rulestore.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	// Each yields signature order; re-sort by descending RI so that id order
+	// is rank order (the stable sort keeps signature order across RI ties,
+	// keeping results deterministic).
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].RI > entries[j].RI })
+
+	s := &Snapshot{
+		itemID: map[string]int32{},
+		source: meta.Source,
+		minSup: meta.MinSupport,
+		minRI:  meta.MinRI,
+	}
+
+	// Intern taxonomy names first, in taxonomy id order, so expansion works
+	// for every node the hierarchy knows (a leaf with no rules of its own
+	// still reaches its category's rules); rule-only names follow.
+	if tax != nil {
+		for id := 0; id < tax.Size(); id++ {
+			s.intern(tax.Name(item.Item(id)))
+		}
+	}
+	for _, e := range entries {
+		for _, n := range e.Antecedent {
+			s.intern(n)
+		}
+		for _, n := range e.Consequent {
+			s.intern(n)
+		}
+	}
+
+	// Flattened ancestor chains. Interning in taxonomy id order above makes
+	// interned id == taxonomy id for every taxonomy member, so chains map 1:1.
+	m := len(s.names)
+	s.ancOff = make([]uint32, m+1)
+	if tax != nil {
+		for id := 0; id < tax.Size(); id++ {
+			s.ancOff[id] = uint32(len(s.ancIDs))
+			for _, a := range tax.AncestorsOf(item.Item(id)) {
+				s.ancIDs = append(s.ancIDs, int32(a))
+			}
+		}
+		for id := tax.Size(); id <= m; id++ {
+			s.ancOff[id] = uint32(len(s.ancIDs))
+		}
+	}
+
+	s.buildArena(entries)
+	s.buildIndexes(entries, m)
+	if size := meta.CacheSize; size >= 0 {
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		s.cache = newQueryCache(size)
+	}
+	s.scratch.New = func() any {
+		return &queryScratch{
+			rules: make([]uint64, s.ruleWords),
+			items: make([]uint64, s.itemWords),
+			ids:   make([]int32, 0, 64),
+		}
+	}
+	s.buildDur = time.Since(start)
+	s.built = time.Now()
+	return s
+}
+
+// intern assigns (or returns) the dense id of an item name.
+func (s *Snapshot) intern(name string) int32 {
+	if id, ok := s.itemID[name]; ok {
+		return id
+	}
+	id := int32(len(s.names))
+	s.itemID[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// ancChain returns item id x's interned ancestor ids, nearest-first
+// (shared subslice).
+func (s *Snapshot) ancChain(x int32) []int32 {
+	return s.ancIDs[s.ancOff[x]:s.ancOff[x+1]]
+}
+
+// buildArena packs every entry field into the parallel arena slices.
+func (s *Snapshot) buildArena(entries []rulestore.Entry) {
+	n := len(entries)
+	total := 0
+	for _, e := range entries {
+		total += len(e.Antecedent) + len(e.Consequent)
+	}
+	s.ri = make([]float64, n)
+	s.expected = make([]float64, n)
+	s.actual = make([]float64, n)
+	s.off = make([]uint32, 2*n+1)
+	s.sideIDs = make([]int32, 0, total)
+	s.sideNames = make([]string, 0, total)
+	for i, e := range entries {
+		s.ri[i] = e.RI
+		s.expected[i] = e.Expected
+		s.actual[i] = e.Actual
+		s.off[2*i] = uint32(len(s.sideIDs))
+		for _, name := range e.Antecedent {
+			s.sideIDs = append(s.sideIDs, s.itemID[name])
+			s.sideNames = append(s.sideNames, name)
+		}
+		s.off[2*i+1] = uint32(len(s.sideIDs))
+		for _, name := range e.Consequent {
+			s.sideIDs = append(s.sideIDs, s.itemID[name])
+			s.sideNames = append(s.sideNames, name)
+		}
+	}
+	s.off[2*n] = uint32(len(s.sideIDs))
+	s.arenaBytes = int64(n)*(3*8) + int64(len(s.off))*4 +
+		int64(len(s.sideIDs))*4 + int64(len(s.sideNames))*16 +
+		int64(len(s.names))*16 + int64(len(s.ancOff))*4 + int64(len(s.ancIDs))*4
+}
+
+// buildIndexes stages the three posting-list indexes as uncompressed bitmat
+// rows over RuleIDs, then compresses every row into its smaller form.
+// m is the interned item count.
+func (s *Snapshot) buildIndexes(entries []rulestore.Entry, m int) {
+	n := len(entries)
+	s.ruleWords = (n + 63) / 64
+	s.itemWords = (m + 63) / 64
+
+	// Vocabulary: items that appear in at least one rule side. Only they get
+	// staged bitmap rows; everything else shares or stays empty.
+	inVocab := make([]bool, m)
+	for _, id := range s.sideIDs {
+		inVocab[id] = true
+	}
+	vocab := make(item.Itemset, 0, m)
+	for id := 0; id < m; id++ {
+		if inVocab[id] {
+			vocab = append(vocab, item.Item(id))
+		}
+	}
+	anteM := bitmat.New(vocab, n)
+	consM := bitmat.New(vocab, n)
+	for i := 0; i < n; i++ {
+		for _, id := range s.sideIDs[s.off[2*i]:s.off[2*i+1]] {
+			anteM.Set(item.Item(id), i)
+		}
+		for _, id := range s.sideIDs[s.off[2*i+1]:s.off[2*i+2]] {
+			consM.Set(item.Item(id), i)
+		}
+	}
+
+	// Compress ante/cons rows. Postings share two flat backing arrays per
+	// index (one for sparse ids, one for dense words) — the compressed form
+	// of the paper-scale reality that a few category-level items are dense
+	// while the long tail of leaves is sparse.
+	s.ante = make([]posting, m)
+	s.cons = make([]posting, m)
+	var anteC, consC, reachC compressor
+	for _, x := range vocab {
+		s.ante[x] = anteC.compress(anteM.Row(x))
+		s.cons[x] = consC.compress(consM.Row(x))
+	}
+
+	// Reach index: item x's posting is the union of ante|cons over x and all
+	// its ancestors. Only vocabulary items produce distinct rows; a taxonomy
+	// node with no rules of its own has exactly its nearest in-vocabulary
+	// ancestor's reach, so it shares that posting (no copied bits).
+	s.reach = make([]posting, m)
+	scratchRow := make([]uint64, s.ruleWords)
+	for _, x := range vocab {
+		copy(scratchRow, anteM.Row(x))
+		bitmat.OrInto(scratchRow, consM.Row(x))
+		for _, a := range s.ancChain(int32(x)) {
+			if inVocab[a] {
+				bitmat.OrInto(scratchRow, anteM.Row(item.Item(a)))
+				bitmat.OrInto(scratchRow, consM.Row(item.Item(a)))
+			}
+		}
+		s.reach[x] = reachC.compress(scratchRow)
+	}
+	for id := 0; id < m; id++ {
+		if inVocab[id] {
+			continue
+		}
+		for _, a := range s.ancChain(int32(id)) {
+			if inVocab[a] {
+				s.reach[id] = s.reach[a]
+				break
+			}
+		}
+	}
+	s.indexBytes = anteC.bytes() + consC.bytes() + reachC.bytes() + int64(3*m)*postingHeaderBytes
+}
+
+// postingHeaderBytes is the resident size of one posting struct (two slice
+// headers + count), used for the /metrics byte accounting.
+const postingHeaderBytes = 2*24 + 8
+
+// compressor packs posting lists for one index into shared flat backing
+// arrays, choosing the smaller of the sparse (sorted ids) and dense
+// (trimmed word-packed bitmap) forms per row.
+type compressor struct {
+	ids   []int32
+	words []uint64
+}
+
+func (c *compressor) compress(row []uint64) posting {
+	n := bitmat.PopCount(row)
+	if n == 0 {
+		return posting{}
+	}
+	last := len(row) - 1
+	for row[last] == 0 {
+		last--
+	}
+	trimmed := last + 1
+	if 4*n < 8*trimmed {
+		// Sparse: the id array is smaller than the trimmed bitmap.
+		lo := len(c.ids)
+		for i := bitmat.NextSet(row, 0); i >= 0; i = bitmat.NextSet(row, i+1) {
+			c.ids = append(c.ids, int32(i))
+		}
+		return posting{ids: c.ids[lo:len(c.ids):len(c.ids)], n: int32(n)}
+	}
+	lo := len(c.words)
+	c.words = append(c.words, row[:trimmed]...)
+	return posting{bits: c.words[lo:len(c.words):len(c.words)], n: int32(n)}
+}
+
+func (c *compressor) bytes() int64 { return int64(len(c.ids))*4 + int64(len(c.words))*8 }
+
+// indexInfo summarizes one posting-list index (indexed by item id) for
+// /metrics. Rows that share a backing subslice (taxonomy nodes reusing an
+// ancestor's reach) are counted once as dense/sparse and thereafter as
+// shared, so Bytes reflects resident memory, not the sum over items.
+func indexInfo(ps []posting) IndexInfo {
+	var out IndexInfo
+	seenSparse := map[*int32]bool{}
+	seenDense := map[*uint64]bool{}
+	for i := range ps {
+		p := &ps[i]
+		if p.empty() {
+			continue
+		}
+		out.Items++
+		out.Postings += int64(p.n)
+		switch {
+		case p.ids != nil && seenSparse[&p.ids[0]], p.bits != nil && seenDense[&p.bits[0]]:
+			out.SharedRows++
+		case p.ids != nil:
+			seenSparse[&p.ids[0]] = true
+			out.SparseRows++
+			out.Bytes += int64(len(p.ids)) * 4
+		default:
+			seenDense[&p.bits[0]] = true
+			out.DenseRows++
+			out.Bytes += int64(len(p.bits)) * 8
+		}
+	}
+	return out
 }
 
 // Len returns the number of rules in the snapshot.
-func (s *Snapshot) Len() int { return len(s.rules) }
+func (s *Snapshot) Len() int { return len(s.ri) }
+
+// Entry materializes rule id as a rulestore.Entry. The side slices are
+// shared subslices of the arena — callers must not modify them. Entry is
+// allocation-free.
+func (s *Snapshot) Entry(id RuleID) rulestore.Entry {
+	a, b, c := s.off[2*id], s.off[2*id+1], s.off[2*id+2]
+	return rulestore.Entry{
+		Antecedent: s.sideNames[a:b:b],
+		Consequent: s.sideNames[b:c:c],
+		RI:         s.ri[id],
+		Expected:   s.expected[id],
+		Actual:     s.actual[id],
+	}
+}
+
+// RI returns rule id's rule interest.
+func (s *Snapshot) RI(id RuleID) float64 { return s.ri[id] }
 
 // Rules returns all rules in serving order (descending RI, ties by
-// signature). The slice is shared; callers must not modify it.
-func (s *Snapshot) Rules() []rulestore.Entry { return s.rules }
+// signature). The entries' side slices are shared with the arena; callers
+// must not modify them.
+func (s *Snapshot) Rules() []rulestore.Entry {
+	out := make([]rulestore.Entry, s.Len())
+	for i := range out {
+		out[i] = s.Entry(RuleID(i))
+	}
+	return out
+}
 
 // Info summarizes the snapshot for health and metrics endpoints.
 func (s *Snapshot) Info() SnapshotInfo {
-	items := map[string]struct{}{}
-	for n := range s.byAnte {
-		items[n] = struct{}{}
-	}
-	for n := range s.byCons {
-		items[n] = struct{}{}
+	items := 0
+	for id := range s.ante {
+		if !s.ante[id].empty() || !s.cons[id].empty() {
+			items++
+		}
 	}
 	return SnapshotInfo{
-		Rules:        len(s.rules),
-		IndexedItems: len(items),
+		Rules:        s.Len(),
+		IndexedItems: items,
+		ArenaBytes:   s.arenaBytes,
+		IndexBytes:   s.indexBytes,
 		Built:        s.built,
 		BuildSeconds: s.buildDur.Seconds(),
 		Source:       s.source,
@@ -141,72 +483,290 @@ func (s *Snapshot) Info() SnapshotInfo {
 	}
 }
 
+// Layout describes the arena and posting-list indexes for /metrics.
+func (s *Snapshot) Layout() LayoutInfo {
+	return LayoutInfo{
+		ArenaBytes: s.arenaBytes,
+		Antecedent: indexInfo(s.ante),
+		Consequent: indexInfo(s.cons),
+		Reach:      indexInfo(s.reach),
+	}
+}
+
+// CacheStats reports the hot-item cache counters, or nil when caching is
+// disabled.
+func (s *Snapshot) CacheStats() *CacheStats {
+	if s.cache == nil {
+		return nil
+	}
+	st := s.cache.stats()
+	return &st
+}
+
 // Age returns how long ago the snapshot was built.
 func (s *Snapshot) Age() time.Duration { return time.Since(s.built) }
 
-// Expand returns name followed by its taxonomy ancestors (nearest-first).
-// Unknown names expand to themselves.
-func (s *Snapshot) Expand(name string) []string {
-	out := make([]string, 0, 1+len(s.anc[name]))
-	out = append(out, name)
-	out = append(out, s.anc[name]...)
-	return out
+// Expand appends name and its taxonomy ancestors (nearest-first) to dst and
+// returns the extended slice. Unknown names expand to themselves. Expand is
+// allocation-free when dst has capacity.
+func (s *Snapshot) Expand(dst []string, name string) []string {
+	dst = append(dst, name)
+	if id, ok := s.itemID[name]; ok {
+		for _, a := range s.ancChain(id) {
+			dst = append(dst, s.names[a])
+		}
+	}
+	return dst
 }
 
-// ctxCheckEvery is how many posting-list entries a query walks between
+// riPrefix returns the number of leading rules with RI ≥ minRI. Rules are
+// RI-descending, so [0, k) is exactly the id range any query at this
+// threshold may return.
+func (s *Snapshot) riPrefix(minRI float64) int {
+	lo, hi := 0, len(s.ri)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ri[mid] >= minRI {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ctxCheckEvery is how many posting-list words a query scans between
 // deadline polls: often enough that a cancelled request stops promptly,
 // rarely enough that the check is free on small snapshots.
 const ctxCheckEvery = 1024
 
-// QueryItem returns the rules mentioning name — or any taxonomy ancestor of
-// name — on either side, with RI ≥ minRI, ordered by descending RI (ties
-// broken by signature order for determinism). limit ≤ 0 means unlimited.
-func (s *Snapshot) QueryItem(name string, minRI float64, limit int) []rulestore.Entry {
-	out, _ := s.QueryItemCtx(context.Background(), name, minRI, limit)
+// QueryItem appends the ids of rules mentioning name — or any taxonomy
+// ancestor of name — on either side, with RI ≥ minRI, to dst in serving
+// order (descending RI, ties by signature) and returns the extended slice.
+// limit ≤ 0 means unlimited. The call is allocation-free in steady state
+// when dst has capacity.
+func (s *Snapshot) QueryItem(dst []RuleID, name string, minRI float64, limit int) []RuleID {
+	out, _ := s.QueryItemCtx(context.Background(), dst, name, minRI, limit)
 	return out
 }
 
 // QueryItemCtx is QueryItem honoring a request deadline: a query over a huge
 // snapshot checks ctx periodically and aborts with ctx.Err() instead of
 // holding a handler goroutine past its budget.
-func (s *Snapshot) QueryItemCtx(ctx context.Context, name string, minRI float64, limit int) ([]rulestore.Entry, error) {
+func (s *Snapshot) QueryItemCtx(ctx context.Context, dst []RuleID, name string, minRI float64, limit int) ([]RuleID, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if s.cache == nil {
+		return s.queryCompute(ctx, dst, name, minRI, limit)
+	}
+	key := queryKey{name: name, minRI: minRI, limit: limit}
+	if ids, ok := s.cache.get(key); ok {
+		return append(dst, ids...), nil
+	}
+	return s.cache.do(ctx, key, dst, func(buf []RuleID) ([]RuleID, error) {
+		return s.queryCompute(ctx, buf, name, minRI, limit)
+	})
+}
+
+// QueryShared is QueryItemCtx without the result copy: the returned slice is
+// shared and immutable — owned by the snapshot's cache, valid for the
+// snapshot's lifetime, and must not be modified or appended to. It is the
+// zero-copy hot path the /rules handler serves from: a cache hit costs one
+// map lookup regardless of result size, so a heavily-ruled taxonomy (Tall)
+// answers as fast as a sparse one (Short). With caching disabled the result
+// is computed into a fresh slice per call.
+func (s *Snapshot) QueryShared(ctx context.Context, name string, minRI float64, limit int) ([]RuleID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	hit := map[int]struct{}{}
-	idx := make([]int, 0, 16)
-	walked := 0
-	for _, n := range s.Expand(name) {
-		for _, lists := range [2]map[string][]int{s.byAnte, s.byCons} {
-			if walked += len(lists[n]); walked >= ctxCheckEvery {
-				walked = 0
+	if s.cache == nil {
+		return s.queryCompute(ctx, nil, name, minRI, limit)
+	}
+	key := queryKey{name: name, minRI: minRI, limit: limit}
+	if ids, ok := s.cache.get(key); ok {
+		return ids, nil
+	}
+	return s.cache.doShared(ctx, key, func() ([]RuleID, error) {
+		return s.queryCompute(ctx, nil, name, minRI, limit)
+	})
+}
+
+// queryCompute is the uncached query path: one rank-select walk over the
+// item's reach posting, bounded by the RI prefix.
+func (s *Snapshot) queryCompute(ctx context.Context, dst []RuleID, name string, minRI float64, limit int) ([]RuleID, error) {
+	id, ok := s.itemID[name]
+	if !ok {
+		return dst, nil
+	}
+	k := s.riPrefix(minRI)
+	if k == 0 {
+		return dst, nil
+	}
+	p := s.reach[id]
+	if p.empty() {
+		return dst, nil
+	}
+	count := 0
+	if p.ids != nil {
+		for j, i := range p.ids {
+			if int(i) >= k || (limit > 0 && count >= limit) {
+				break
+			}
+			if j&(ctxCheckEvery-1) == ctxCheckEvery-1 {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return dst, err
 				}
 			}
-			for _, i := range lists[n] {
-				// Posting lists are ascending and rules RI-descending, so
-				// everything after the first miss also misses.
-				if s.rules[i].RI < minRI {
-					break
-				}
-				if _, ok := hit[i]; !ok {
-					hit[i] = struct{}{}
-					idx = append(idx, i)
-				}
+			dst = append(dst, RuleID(i))
+			count++
+		}
+		return dst, nil
+	}
+	kw := (k + 63) / 64
+	if kw > len(p.bits) {
+		kw = len(p.bits)
+	}
+	for w := 0; w < kw; w++ {
+		if w&(ctxCheckEvery-1) == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return dst, err
+			}
+		}
+		word := p.bits[w]
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if i >= k || (limit > 0 && count >= limit) {
+				return dst, nil
+			}
+			dst = append(dst, RuleID(i))
+			count++
+			word &= word - 1
+		}
+	}
+	return dst, nil
+}
+
+// Score appends the ids of rules whose full antecedent is covered by the
+// basket — extended with taxonomy ancestors, so a basket containing pepsi
+// supports soft-drinks — and whose RI ≥ minRI, to dst in serving order.
+// limit ≤ 0 means unlimited. The call is allocation-free in steady state
+// when dst has capacity (scratch bitmaps come from a pool).
+func (s *Snapshot) Score(dst []RuleID, basket []string, minRI float64, limit int) []RuleID {
+	out, _ := s.ScoreCtx(context.Background(), dst, basket, minRI, limit)
+	return out
+}
+
+// ScoreCtx is Score honoring a request deadline, like QueryItemCtx.
+func (s *Snapshot) ScoreCtx(ctx context.Context, dst []RuleID, basket []string, minRI float64, limit int) ([]RuleID, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	k := s.riPrefix(minRI)
+	if k == 0 || len(s.names) == 0 {
+		return dst, nil
+	}
+	sc := s.scratch.Get().(*queryScratch)
+	defer s.scratch.Put(sc)
+	clear(sc.items)
+	sc.ids = sc.ids[:0]
+
+	// Satisfied set: every item id the basket supports (items + ancestors),
+	// recorded both as a bitset (for O(1) coverage checks) and as the marked
+	// id list (so the candidate OR walks only satisfied postings).
+	mark := func(id int32) {
+		w, b := id>>6, uint(id&63)
+		if sc.items[w]&(1<<b) == 0 {
+			sc.items[w] |= 1 << b
+			sc.ids = append(sc.ids, id)
+		}
+	}
+	for _, bname := range basket {
+		id, ok := s.itemID[bname]
+		if !ok {
+			continue
+		}
+		mark(id)
+		for _, a := range s.ancChain(id) {
+			mark(a)
+		}
+	}
+	if len(sc.ids) == 0 {
+		return dst, nil
+	}
+
+	// Candidate rules: the OR of the satisfied items' antecedent postings,
+	// restricted to the RI prefix.
+	kw := (k + 63) / 64
+	acc := sc.rules[:kw]
+	clear(acc)
+	for _, id := range sc.ids {
+		orPostingInto(acc, s.ante[id], k)
+	}
+
+	// Walk candidates in ascending id (= rank) order; a candidate matches
+	// when every antecedent item id is in the satisfied bitset.
+	count := 0
+	for w := 0; w < kw; w++ {
+		if w&(ctxCheckEvery-1) == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return dst, err
+			}
+		}
+		word := acc[w]
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i >= k {
+				return dst, nil
+			}
+			if !s.covered(RuleID(i), sc.items) {
+				continue
+			}
+			dst = append(dst, RuleID(i))
+			if count++; limit > 0 && count >= limit {
+				return dst, nil
 			}
 		}
 	}
-	// Ascending index = descending RI: rank order with an integer sort.
-	sort.Ints(idx)
-	if limit > 0 && len(idx) > limit {
-		idx = idx[:limit]
+	return dst, nil
+}
+
+// covered reports whether every antecedent item of rule id is set in the
+// satisfied-item bitset.
+func (s *Snapshot) covered(id RuleID, items []uint64) bool {
+	for _, a := range s.sideIDs[s.off[2*id]:s.off[2*id+1]] {
+		if items[a>>6]&(1<<uint(a&63)) == 0 {
+			return false
+		}
 	}
-	out := make([]rulestore.Entry, len(idx))
-	for i, j := range idx {
-		out[i] = s.rules[j]
+	return true
+}
+
+// orPostingInto folds posting p into the accumulator bitmap, ignoring rule
+// ids ≥ k (acc has ceil(k/64) words).
+func orPostingInto(acc []uint64, p posting, k int) {
+	if p.empty() {
+		return
 	}
-	return out, nil
+	if p.ids != nil {
+		for _, i := range p.ids {
+			if int(i) >= k {
+				return
+			}
+			acc[i>>6] |= 1 << uint(i&63)
+		}
+		return
+	}
+	n := len(p.bits)
+	if n > len(acc) {
+		n = len(acc)
+	}
+	for w := 0; w < n; w++ {
+		acc[w] |= p.bits[w]
+	}
+	// Bits of the last word beyond k are cleared lazily: the candidate walk
+	// stops at k, so stray high bits in word k/64 are never emitted.
 }
 
 // Match is one rule triggered by a basket: the customer's basket covers the
@@ -220,74 +780,60 @@ type Match struct {
 	Triggers map[string]string
 }
 
-// Score evaluates a basket against the snapshot: it extends the basket with
-// taxonomy ancestors (a basket containing pepsi supports soft-drinks) and
-// returns every rule whose full antecedent is covered by the extended basket
-// and whose RI meets the per-request threshold. Results are ordered by
-// descending RI, ties by signature order. limit ≤ 0 means unlimited.
-func (s *Snapshot) Score(basket []string, minRI float64, limit int) []Match {
-	out, _ := s.ScoreCtx(context.Background(), basket, minRI, limit)
+// Triggers maps each antecedent item of rule id to the first basket item
+// (in basket order) that satisfies it — the item itself or a descendant.
+// It allocates; use it on render paths, after Score picked the rule.
+func (s *Snapshot) Triggers(id RuleID, basket []string) map[string]string {
+	lo, hi := s.off[2*id], s.off[2*id+1]
+	trig := make(map[string]string, hi-lo)
+	for j := lo; j < hi; j++ {
+		a := s.sideIDs[j]
+		for _, b := range basket {
+			if s.supports(b, a) {
+				trig[s.sideNames[j]] = b
+				break
+			}
+		}
+	}
+	return trig
+}
+
+// supports reports whether basket item b satisfies item id a: b is a itself
+// or a descendant of a.
+func (s *Snapshot) supports(b string, a int32) bool {
+	id, ok := s.itemID[b]
+	if !ok {
+		return false
+	}
+	if id == a {
+		return true
+	}
+	for _, y := range s.ancChain(id) {
+		if y == a {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryEntries is QueryItem materialized as entries — the allocating
+// convenience for callers outside the hot path.
+func (s *Snapshot) QueryEntries(name string, minRI float64, limit int) []rulestore.Entry {
+	ids := s.QueryItem(nil, name, minRI, limit)
+	out := make([]rulestore.Entry, len(ids))
+	for i, id := range ids {
+		out[i] = s.Entry(id)
+	}
 	return out
 }
 
-// ScoreCtx is Score honoring a request deadline, like QueryItemCtx.
-func (s *Snapshot) ScoreCtx(ctx context.Context, basket []string, minRI float64, limit int) ([]Match, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+// Matches is Score materialized as Match values with trigger attribution —
+// the allocating convenience for callers outside the hot path.
+func (s *Snapshot) Matches(basket []string, minRI float64, limit int) []Match {
+	ids := s.Score(nil, basket, minRI, limit)
+	out := make([]Match, len(ids))
+	for i, id := range ids {
+		out[i] = Match{Rule: s.Entry(id), Triggers: s.Triggers(id, basket)}
 	}
-	// satisfies maps every name the basket supports to the concrete basket
-	// item that produced it.
-	satisfies := map[string]string{}
-	for _, b := range basket {
-		for _, n := range s.Expand(b) {
-			if _, ok := satisfies[n]; !ok {
-				satisfies[n] = b
-			}
-		}
-	}
-	// Candidate rules: any rule whose antecedent mentions a supported name.
-	cand := map[int]struct{}{}
-	idx := make([]int, 0, 16)
-	walked := 0
-	for n := range satisfies {
-		if walked += len(s.byAnte[n]); walked >= ctxCheckEvery {
-			walked = 0
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		for _, i := range s.byAnte[n] {
-			if s.rules[i].RI < minRI {
-				break // RI-descending posting list: the rest miss too
-			}
-			if _, ok := cand[i]; ok {
-				continue
-			}
-			cand[i] = struct{}{}
-			covered := true
-			for _, a := range s.rules[i].Antecedent {
-				if _, ok := satisfies[a]; !ok {
-					covered = false
-					break
-				}
-			}
-			if covered {
-				idx = append(idx, i)
-			}
-		}
-	}
-	// Ascending index = descending RI.
-	sort.Ints(idx)
-	if limit > 0 && len(idx) > limit {
-		idx = idx[:limit]
-	}
-	out := make([]Match, len(idx))
-	for i, j := range idx {
-		trig := make(map[string]string, len(s.rules[j].Antecedent))
-		for _, a := range s.rules[j].Antecedent {
-			trig[a] = satisfies[a]
-		}
-		out[i] = Match{Rule: s.rules[j], Triggers: trig}
-	}
-	return out, nil
+	return out
 }

@@ -60,21 +60,21 @@ func TestSnapshotQueryItemExpandsAncestors(t *testing.T) {
 
 	// pepsi must surface its own rule, the soft-drinks rule (parent) and
 	// the beverages rule (grandparent, on the consequent side), by RI desc.
-	got := consequents(snap.QueryItem("pepsi", 0, 0))
+	got := consequents(snap.QueryEntries("pepsi", 0, 0))
 	want := []string{"chips", "juice", "beverages"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("QueryItem(pepsi) consequents = %v, want %v", got, want)
 	}
 
 	// coke shares soft-drinks/beverages ancestry but has no own rule.
-	got = consequents(snap.QueryItem("coke", 0, 0))
+	got = consequents(snap.QueryEntries("coke", 0, 0))
 	want = []string{"chips", "beverages"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("QueryItem(coke) consequents = %v, want %v", got, want)
 	}
 
 	// Unknown items match nothing.
-	if rs := snap.QueryItem("caviar", 0, 0); len(rs) != 0 {
+	if rs := snap.QueryEntries("caviar", 0, 0); len(rs) != 0 {
 		t.Fatalf("QueryItem(caviar) = %v, want none", rs)
 	}
 }
@@ -82,23 +82,23 @@ func TestSnapshotQueryItemExpandsAncestors(t *testing.T) {
 func TestSnapshotQueryItemThresholdAndLimit(t *testing.T) {
 	snap := testSnapshot(t)
 
-	if got := consequents(snap.QueryItem("pepsi", 0.5, 0)); !reflect.DeepEqual(got, []string{"chips", "juice"}) {
+	if got := consequents(snap.QueryEntries("pepsi", 0.5, 0)); !reflect.DeepEqual(got, []string{"chips", "juice"}) {
 		t.Fatalf("minRI 0.5 consequents = %v", got)
 	}
-	if got := consequents(snap.QueryItem("pepsi", 0, 1)); !reflect.DeepEqual(got, []string{"chips"}) {
+	if got := consequents(snap.QueryEntries("pepsi", 0, 1)); !reflect.DeepEqual(got, []string{"chips"}) {
 		t.Fatalf("limit 1 consequents = %v", got)
 	}
 }
 
 func TestSnapshotExpand(t *testing.T) {
 	snap := testSnapshot(t)
-	if got := snap.Expand("pepsi"); !reflect.DeepEqual(got, []string{"pepsi", "soft-drinks", "beverages"}) {
+	if got := snap.Expand(nil, "pepsi"); !reflect.DeepEqual(got, []string{"pepsi", "soft-drinks", "beverages"}) {
 		t.Fatalf("Expand(pepsi) = %v", got)
 	}
-	if got := snap.Expand("beverages"); !reflect.DeepEqual(got, []string{"beverages"}) {
+	if got := snap.Expand(nil, "beverages"); !reflect.DeepEqual(got, []string{"beverages"}) {
 		t.Fatalf("Expand(beverages) = %v", got)
 	}
-	if got := snap.Expand("nope"); !reflect.DeepEqual(got, []string{"nope"}) {
+	if got := snap.Expand(nil, "nope"); !reflect.DeepEqual(got, []string{"nope"}) {
 		t.Fatalf("Expand(nope) = %v", got)
 	}
 }
@@ -108,7 +108,7 @@ func TestSnapshotScore(t *testing.T) {
 
 	// A pepsi basket covers {pepsi} and, via ancestors, {soft-drinks} —
 	// but not {chips}.
-	matches := snap.Score([]string{"pepsi"}, 0, 0)
+	matches := snap.Matches([]string{"pepsi"}, 0, 0)
 	if got := []string{matches[0].Rule.Consequent[0], matches[1].Rule.Consequent[0]}; len(matches) != 2 ||
 		got[0] != "chips" || got[1] != "juice" {
 		t.Fatalf("Score(pepsi) = %+v", matches)
@@ -119,12 +119,12 @@ func TestSnapshotScore(t *testing.T) {
 	}
 
 	// Per-request threshold.
-	if m := snap.Score([]string{"pepsi"}, 0.7, 0); len(m) != 1 || m[0].Rule.Consequent[0] != "chips" {
+	if m := snap.Matches([]string{"pepsi"}, 0.7, 0); len(m) != 1 || m[0].Rule.Consequent[0] != "chips" {
 		t.Fatalf("Score(pepsi, 0.7) = %+v", m)
 	}
 
 	// chips triggers only its own rule; unknown items are ignored.
-	if m := snap.Score([]string{"chips", "caviar"}, 0, 0); len(m) != 1 || m[0].Rule.Consequent[0] != "beverages" {
+	if m := snap.Matches([]string{"chips", "caviar"}, 0, 0); len(m) != 1 || m[0].Rule.Consequent[0] != "beverages" {
 		t.Fatalf("Score(chips, caviar) = %+v", m)
 	}
 }
@@ -132,11 +132,11 @@ func TestSnapshotScore(t *testing.T) {
 func TestSnapshotWithoutTaxonomy(t *testing.T) {
 	snap := BuildSnapshot(testStore(), nil, Meta{})
 	// Exact-name matching still works...
-	if got := consequents(snap.QueryItem("pepsi", 0, 0)); !reflect.DeepEqual(got, []string{"juice"}) {
+	if got := consequents(snap.QueryEntries("pepsi", 0, 0)); !reflect.DeepEqual(got, []string{"juice"}) {
 		t.Fatalf("QueryItem(pepsi) without taxonomy = %v", got)
 	}
 	// ...but no ancestor expansion happens.
-	if got := snap.Expand("pepsi"); !reflect.DeepEqual(got, []string{"pepsi"}) {
+	if got := snap.Expand(nil, "pepsi"); !reflect.DeepEqual(got, []string{"pepsi"}) {
 		t.Fatalf("Expand(pepsi) without taxonomy = %v", got)
 	}
 }
