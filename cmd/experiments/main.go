@@ -17,6 +17,9 @@
 //	                                # streaming ingest: durable append throughput
 //	                                # and delta refresh vs full re-mine at
 //	                                # 1%/10%/50% deltas
+//	experiments -snapbench -serveout BENCH_serving.json
+//	                                # .nsnap cold start: encode time, file size,
+//	                                # mmap load vs mine-from-raw rebuild
 //
 // -scale divides the transaction count (50,000 at scale 1) while keeping
 // the paper's 8,000-item universe, so relative supports — and hence every
@@ -68,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		lookups   = fs.Int("lookups", 20000, "timed queries per -servebench run")
 		obench    = fs.Bool("overloadbench", false, "drive the governed daemon at 1x/2x/4x its -max-rps and record shed rate + admitted latency")
 		ibench    = fs.Bool("ingestbench", false, "measure segment-log append throughput and delta refresh vs full re-mine at 1%/10%/50% deltas")
+		snapb     = fs.Bool("snapbench", false, "measure .nsnap encode time, file size, and mmap-load vs mine-from-raw cold start on Short and Tall")
 		maxRPS    = fs.Float64("maxrps", 200, "token-bucket rate the -overloadbench governor enforces (the daemon's -max-rps)")
 		overSec   = fs.Duration("overloadsec", 2*time.Second, "measurement window per -overloadbench load level")
 	)
@@ -95,9 +99,9 @@ func run(args []string, out io.Writer) error {
 		figs["5"], figs["6"], figs["7"] = true, true, true
 		tables["1"], tables["2"] = true, true
 	}
-	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench && !*ibench {
+	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench && !*ibench && !*snapb {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench, -ingestbench or -all")
+		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench, -ingestbench, -snapbench or -all")
 	}
 
 	sups, err := parseFloats(*minsups)
@@ -315,12 +319,38 @@ func run(args []string, out io.Writer) error {
 		bench.PrintIngest(out, irows)
 		fmt.Fprintln(out)
 	}
-	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0 || len(irows) > 0) {
+	var snrows []*bench.SnapshotBench
+	if *snapb {
+		fmt.Fprintln(out, "=== Snapshot — .nsnap mmap cold start vs mine-from-raw rebuild ===")
+		pct := 2.0
+		if len(sups) > 0 {
+			pct = sups[0]
+		}
+		dir, err := os.MkdirTemp("", "negmine-snapbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		for _, name := range []string{"Short", "Tall"} {
+			ds, err := need(name)
+			if err != nil {
+				return err
+			}
+			row, err := bench.RunSnapshotBench(ds, pct, *minRI, gen.Cumulate, *maxK, *parallel, *reps, dir)
+			if err != nil {
+				return err
+			}
+			snrows = append(snrows, row)
+		}
+		bench.PrintSnapshot(out, snrows)
+		fmt.Fprintln(out)
+	}
+	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0 || len(irows) > 0 || len(snrows) > 0) {
 		f, err := os.Create(*sbenchOut)
 		if err != nil {
 			return err
 		}
-		if err := bench.WriteServingJSON(f, *scale, srows, orows, irows); err != nil {
+		if err := bench.WriteServingJSON(f, *scale, srows, orows, irows, snrows); err != nil {
 			f.Close()
 			return err
 		}

@@ -218,3 +218,47 @@ func TestIngestBench(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot benchmark in -short mode")
+	}
+	var out bytes.Buffer
+	outPath := t.TempDir() + "/BENCH_serving.json"
+	err := run([]string{"-snapbench", "-scale", "100", "-minsups", "2", "-maxk", "3",
+		"-reps", "1", "-serveout", outPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Snapshot", "Short", "Tall", "faster cold start", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Snapshot []struct {
+			Dataset   string  `json:"dataset"`
+			Rules     int     `json:"rules"`
+			FileBytes int64   `json:"file_bytes"`
+			Load      float64 `json:"mmap_load_seconds"`
+			Rebuild   float64 `json:"rebuild_seconds"`
+			Speedup   float64 `json:"load_speedup"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad BENCH_serving.json: %v", err)
+	}
+	if len(doc.Snapshot) != 2 || doc.Snapshot[0].Dataset != "Short" || doc.Snapshot[1].Dataset != "Tall" {
+		t.Fatalf("snapshot section = %+v", doc.Snapshot)
+	}
+	for _, b := range doc.Snapshot {
+		if b.Rules == 0 || b.FileBytes == 0 || b.Load <= 0 || b.Rebuild <= 0 || b.Speedup <= 0 {
+			t.Errorf("degenerate snapshot row: %+v", b)
+		}
+	}
+}

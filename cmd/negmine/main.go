@@ -26,6 +26,9 @@
 //	-o file        write results to this file atomically (temp + fsync +
 //	               rename) instead of stdout; a crash mid-write never
 //	               truncates an existing report
+//	-snap file     also write the rule set as a binary .nsnap snapshot,
+//	               the mmap-loadable serving format (negmined boots from it
+//	               instantly; inspect with `nmtx snap info`)
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"negmine"
 	"negmine/internal/atomicio"
 	"negmine/internal/report"
+	"negmine/internal/serve"
 )
 
 func main() {
@@ -72,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		explain   = fs.Bool("explain", false, "print the full derivation of every negative rule")
 		diffPath  = fs.String("diff", "", "previous run's JSON report: print appeared/disappeared/changed rules")
 		outPath   = fs.String("o", "", "write results to this file instead of stdout (atomic: temp file + fsync + rename, so a crash never truncates an existing report)")
+		snapPath  = fs.String("snap", "", "also write the mined rule set as a binary .nsnap snapshot (mmap-loadable by negmined; atomic write)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -244,6 +249,21 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		return nil
+	}
+
+	if *snapPath != "" {
+		// The serving-format twin of -o: the same rule set as a checksummed
+		// binary snapshot that negmined boots from via mmap (generation 1,
+		// the convention for standalone files outside an artifact store).
+		meta := serve.Meta{Source: "mined " + *dataPath, MinSupport: *minSup, MinRI: *minRI}
+		snap := serve.BuildSnapshot(negmine.NewRuleStore(res, tax.Name), tax, meta)
+		if err := serve.WriteSnapshotFile(*snapPath, snap, 1); err != nil {
+			return fmt.Errorf("-snap: %w", err)
+		}
+		if *outPath != "" || strings.ToLower(*format) == "text" {
+			// Suppressed when a machine-readable report streams to stdout.
+			fmt.Fprintf(out, "wrote snapshot %s (%d rules)\n", *snapPath, snap.Len())
+		}
 	}
 
 	if *outPath != "" {

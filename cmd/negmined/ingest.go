@@ -123,7 +123,9 @@ func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
 		MinRI:      c.opt.MinRI,
 		CacheSize:  c.cacheSize,
 	}
-	return serve.BuildSnapshot(st, c.tax, meta), nil
+	snap := serve.BuildSnapshot(st, c.tax, meta)
+	snap.SetProvenance(0, "ingest")
+	return snap, nil
 }
 
 // Ingest implements serve.IngestSink: name resolution against the read-only

@@ -19,6 +19,21 @@
 //	    -remine-txns triggers) re-mines incrementally — only segments new
 //	    since the last refresh are scanned. -data seeds an empty log once.
 //
+//	negmined -snapshot-dir ./snaps
+//	    replica mode: serve the newest .nsnap generation from a snapshot
+//	    store via mmap — no taxonomy or data files needed (snapshots embed
+//	    the dictionary and ancestor chains). With -watch the daemon polls
+//	    the store manifest and swaps in new generations as a producer
+//	    writes them.
+//
+// -snapshot-dir also composes with every source mode: the daemon boots
+// from the newest stored generation when one validates (an mmap instead of
+// a mine), falls back to the source when the store is empty or corrupt,
+// and persists every successful re-mine/refresh as a new generation
+// (disable with -snapshot-save=false). A torn or corrupted snapshot is
+// rejected by checksum/structural validation and the previous generation
+// keeps serving.
+//
 // Endpoints:
 //
 //	GET  /rules?item=NAME[&minri=F][&limit=N]  rules mentioning NAME or a
@@ -56,6 +71,10 @@
 //	-ingest-dir dir   segment-log directory; enables streaming mode
 //	-remine-every d   re-mine whenever pending data is this old (streaming)
 //	-remine-txns n    re-mine after n pending transactions (streaming)
+//	-snapshot-dir d   .nsnap store: mmap boot, persist refreshes; alone =
+//	                  replica mode
+//	-snapshot-save    persist refreshes as new generations (default true)
+//	-snapshot-keep n  generations retained by store GC (default 4, 0 = all)
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to -drain to finish, and the process exits 0. A
@@ -78,6 +97,7 @@ import (
 	"time"
 
 	"negmine"
+	"negmine/internal/artifact"
 	"negmine/internal/govern"
 	"negmine/internal/serve"
 )
@@ -168,6 +188,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	snap := srv.Snapshot()
+	if info := snap.Info(); info.SourceKind != "" {
+		fmt.Fprintf(out, "negmined: snapshot generation %d via %s in %.3fs\n",
+			info.Generation, info.SourceKind, info.BuildSeconds)
+	}
 	fmt.Fprintf(out, "negmined: serving %d rules (source %s) on http://%s\n",
 		snap.Len(), cfg.source, ln.Addr())
 
@@ -238,11 +262,30 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		ingestDir   = fs.String("ingest-dir", "", "segment-log directory; enables streaming mode with POST /ingest")
 		remineEvery = fs.Duration("remine-every", 0, "re-mine whenever pending ingested data is this old (0 = off; streaming mode)")
 		remineTxns  = fs.Int("remine-txns", 0, "re-mine after this many pending ingested transactions (0 = off; streaming mode)")
+
+		snapDir  = fs.String("snapshot-dir", "", "snapshot store directory: boot from the newest .nsnap via mmap, persist refreshes; alone (no source) the daemon is a read-only replica of the store")
+		snapSave = fs.Bool("snapshot-save", true, "persist every successful re-mine/refresh as a new snapshot generation (requires -snapshot-dir)")
+		snapKeep = fs.Int("snapshot-keep", 4, "snapshot generations retained in the store (0 = all; requires -snapshot-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if *taxPath == "" {
+	if *snapDir == "" {
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["snapshot-save"] || set["snapshot-keep"] {
+			return nil, usageErrf(fs, "-snapshot-save/-snapshot-keep require -snapshot-dir")
+		}
+	}
+	if *snapKeep < 0 {
+		return nil, usageErrf(fs, "-snapshot-keep = %d, want ≥ 0", *snapKeep)
+	}
+	// Replica mode: a snapshot store and no rule source. The daemon serves
+	// (and with -watch, follows) whatever a producer writes into the store;
+	// no taxonomy file is needed because snapshots embed the item dictionary
+	// and ancestor chains.
+	replica := *snapDir != "" && *repPath == "" && *dataPath == "" && *ingestDir == ""
+	if *taxPath == "" && !replica {
 		return nil, usageErrf(fs, "-tax is required")
 	}
 	if *ingestDir != "" {
@@ -265,8 +308,8 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		if *remineEvery != 0 || *remineTxns != 0 {
 			return nil, usageErrf(fs, "-remine-every/-remine-txns require -ingest-dir")
 		}
-		if (*repPath == "") == (*dataPath == "") {
-			return nil, usageErrf(fs, "exactly one of -report or -data is required")
+		if !replica && (*repPath == "") == (*dataPath == "") {
+			return nil, usageErrf(fs, "exactly one of -report or -data is required (or -snapshot-dir alone for replica mode)")
 		}
 	}
 	for _, d := range []struct {
@@ -333,10 +376,35 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		}
 	}
 
+	// withSnapshots layers the artifact store over the configured loader:
+	// boot-from-mmap with source fallback, persist-on-refresh.
+	withSnapshots := func(cfg *config) (*config, error) {
+		if *snapDir == "" {
+			return cfg, nil
+		}
+		store, err := artifact.OpenFS(*snapDir, *snapKeep)
+		if err != nil {
+			return nil, fmt.Errorf("opening snapshot store %s: %w", *snapDir, err)
+		}
+		sc := &snapController{store: store, inner: cfg.loadFunc, save: *snapSave, cache: *cache, out: out}
+		cfg.loadFunc = sc.load
+		return cfg, nil
+	}
+	if replica {
+		store, err := artifact.OpenFS(*snapDir, *snapKeep)
+		if err != nil {
+			return nil, fmt.Errorf("opening snapshot store %s: %w", *snapDir, err)
+		}
+		sc := &snapController{store: store, cache: *cache, out: out}
+		cfg.source = store.ManifestPath() // what -watch polls: changes on every Put
+		cfg.loadFunc = sc.load
+		return cfg, nil
+	}
+
 	if *repPath != "" {
 		cfg.source = *repPath
 		cfg.loadFunc = reportLoader(*repPath, *taxPath, *cache)
-		return cfg, nil
+		return withSnapshots(cfg)
 	}
 
 	opt := negmine.NegativeOptions{MinSupport: *minSup, MinRI: *minRI}
@@ -379,12 +447,12 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		cfg.remineEvery = *remineEvery
 		cfg.source = *ingestDir
 		cfg.loadFunc = ctrl.load
-		return cfg, nil
+		return withSnapshots(cfg)
 	}
 
 	cfg.source = *dataPath
 	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt, *cache)
-	return cfg, nil
+	return withSnapshots(cfg)
 }
 
 // reportLoader re-reads a report JSON file on every (re)load. The taxonomy
@@ -412,7 +480,9 @@ func reportLoader(repPath, taxPath string, cacheSize int) serve.LoadFunc {
 			MinRI:      rep.MinRI,
 			CacheSize:  cacheSize,
 		}
-		return serve.BuildSnapshot(st, tax, meta), nil
+		snap := serve.BuildSnapshot(st, tax, meta)
+		snap.SetProvenance(0, "json")
+		return snap, nil
 	}
 }
 
@@ -440,7 +510,9 @@ func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions, cacheSize
 			MinRI:      opt.MinRI,
 			CacheSize:  cacheSize,
 		}
-		return serve.BuildSnapshot(st, tax, meta), nil
+		snap := serve.BuildSnapshot(st, tax, meta)
+		snap.SetProvenance(0, "mined")
+		return snap, nil
 	}
 }
 

@@ -14,6 +14,13 @@
 //	nmtx -log dir -seal                # seal the active segment
 //	nmtx -log dir -compact             # merge small adjacent segments
 //
+// The snap subcommand inspects binary rule snapshots (.nsnap, written by
+// `negmine -snap` or a negmined -snapshot-dir store):
+//
+//	nmtx snap info file.nsnap          # header, provenance, section table
+//	nmtx snap verify file.nsnap        # checksum + structural verification
+//	nmtx snap diff old.nsnap new.nsnap # rule-set delta
+//
 // Packed .nmtx files are the -data input of the mining pipeline: `negmine
 // -data out.nmtx -format json` writes the report JSON that the cmd/negmined
 // daemon serves (`negmined -report rules.json`, or `negmined -data out.nmtx`
@@ -41,6 +48,11 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	// `nmtx snap ...` is a subcommand family with its own argument shape;
+	// dispatch before flag parsing.
+	if len(args) > 0 && args[0] == "snap" {
+		return runSnap(args[1:], out)
+	}
 	fs := flag.NewFlagSet("nmtx", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (

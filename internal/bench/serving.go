@@ -213,9 +213,10 @@ func latencyQuantiles(lat []time.Duration) (p50, p99, p999 time.Duration) {
 	return at(0.50), at(0.99), at(0.999)
 }
 
-// WriteServingJSON renders serving benchmarks (and, when run, the overload
-// and ingest benchmarks) as the indented JSON stored in BENCH_serving.json.
-func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench, ingest []*IngestBench) error {
+// WriteServingJSON renders serving benchmarks (and, when run, the overload,
+// ingest and snapshot benchmarks) as the indented JSON stored in
+// BENCH_serving.json.
+func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench, ingest []*IngestBench, snapshot []*SnapshotBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
@@ -224,12 +225,14 @@ func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*
 		Benches     []*ServingBench  `json:"benches"`
 		Overload    []*OverloadBench `json:"overload,omitempty"`
 		Ingest      []*IngestBench   `json:"ingest,omitempty"`
+		Snapshot    []*SnapshotBench `json:"snapshot,omitempty"`
 	}{
-		Description: "Serving layer: snapshot build time and QueryItem/Score throughput, latency and allocations on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench)",
+		Description: "Serving layer: snapshot build time and QueryItem/Score throughput, latency and allocations on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench; snapshot section by -snapbench)",
 		Scale:       scale,
 		Benches:     rows,
 		Overload:    overload,
 		Ingest:      ingest,
+		Snapshot:    snapshot,
 	})
 }
 

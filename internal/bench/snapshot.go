@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"negmine/internal/gen"
+	"negmine/internal/negative"
+	"negmine/internal/report"
+	"negmine/internal/rulestore"
+	"negmine/internal/serve"
+)
+
+// SnapshotBench is the `snapshot` section of BENCH_serving.json: what a cold
+// start costs with and without a .nsnap file. Rebuild is the full
+// mine-from-raw path a daemon without a snapshot store pays at boot;
+// mmap-load is what `negmined -snapshot-dir` pays instead. Speedup is their
+// ratio — the whole point of the binary snapshot format.
+type SnapshotBench struct {
+	Dataset   string  `json:"dataset"`
+	MinSupPct float64 `json:"minsup_pct"`
+	MinRI     float64 `json:"minri"`
+	Rules     int     `json:"rules"`
+
+	FileBytes      int64   `json:"file_bytes"`        // encoded .nsnap size
+	EncodeSeconds  float64 `json:"encode_seconds"`    // snapshot → file (best of reps)
+	LoadSeconds    float64 `json:"mmap_load_seconds"` // file → servable snapshot (best of reps)
+	RebuildSeconds float64 `json:"rebuild_seconds"`   // mine-from-raw → servable snapshot
+	Speedup        float64 `json:"load_speedup"`      // RebuildSeconds / LoadSeconds
+}
+
+// RunSnapshotBench measures the snapshot cold-start economics on ds: one
+// timed mine-from-raw rebuild, then best-of-reps encode and mmap-load of the
+// same rule set, with the loaded snapshot cross-checked against the built
+// one. Scratch files land in dir.
+func RunSnapshotBench(ds *Dataset, minSupPct, minRI float64, genAlg gen.Algorithm, maxK, parallel, reps int, dir string) (*SnapshotBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	opt := negative.Options{
+		MinSupport: minSupPct / 100,
+		MinRI:      minRI,
+		Algorithm:  negative.Improved,
+		Gen:        gen.Options{Algorithm: genAlg, MaxK: maxK},
+	}
+	opt.Count.Parallelism = parallel
+	opt.Gen.Count.Parallelism = parallel
+
+	// The cold rebuild: everything a snapshotless daemon does between exec
+	// and serving — mine, build the report, index the snapshot.
+	start := time.Now()
+	res, err := negative.Mine(ds.DB, ds.Tax, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mining %s for snapshot: %w", ds.Name, err)
+	}
+	rep := report.BuildNegative(res, opt.MinSupport, opt.MinRI, ds.Tax.Name)
+	st := rulestore.FromReport(rep)
+	meta := serve.Meta{Source: "bench " + ds.Name, MinSupport: opt.MinSupport, MinRI: opt.MinRI}
+	snap := serve.BuildSnapshot(st, ds.Tax, meta)
+	rebuild := time.Since(start)
+	if snap.Len() == 0 {
+		return nil, fmt.Errorf("bench: %s mined no rules at minsup %.2f%%; lower the support", ds.Name, minSupPct)
+	}
+
+	path := filepath.Join(dir, ds.Name+".nsnap")
+	var encode time.Duration
+	for r := 0; r < reps; r++ {
+		s := time.Now()
+		if err := serve.WriteSnapshotFile(path, snap, 1); err != nil {
+			return nil, fmt.Errorf("bench: encoding %s: %w", path, err)
+		}
+		if d := time.Since(s); encode == 0 || d < encode {
+			encode = d
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	var load time.Duration
+	for r := 0; r < reps; r++ {
+		s := time.Now()
+		loaded, err := serve.OpenSnapshotFile(path, -1)
+		d := time.Since(s)
+		if err != nil {
+			return nil, fmt.Errorf("bench: loading %s: %w", path, err)
+		}
+		if loaded.Len() != snap.Len() {
+			return nil, fmt.Errorf("bench: %s round trip lost rules: %d loaded, %d built", path, loaded.Len(), snap.Len())
+		}
+		if load == 0 || d < load {
+			load = d
+		}
+	}
+
+	out := &SnapshotBench{
+		Dataset:        ds.Name,
+		MinSupPct:      minSupPct,
+		MinRI:          minRI,
+		Rules:          snap.Len(),
+		FileBytes:      fi.Size(),
+		EncodeSeconds:  encode.Seconds(),
+		LoadSeconds:    load.Seconds(),
+		RebuildSeconds: rebuild.Seconds(),
+	}
+	if load > 0 {
+		out.Speedup = rebuild.Seconds() / load.Seconds()
+	}
+	return out, nil
+}
+
+// PrintSnapshot renders snapshot benchmarks as a human-readable summary.
+func PrintSnapshot(w io.Writer, rows []*SnapshotBench) {
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (minsup %.2f%%): %d rules, %dKB file; encode %.2fms; mmap load %.2fms vs rebuild %.0fms (%.0fx faster cold start)\n",
+			r.Dataset, r.MinSupPct, r.Rules, r.FileBytes/1024,
+			r.EncodeSeconds*1e3, r.LoadSeconds*1e3, r.RebuildSeconds*1e3, r.Speedup)
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"negmine/internal/gen"
+)
+
+// TestSnapshotBenchSmall exercises the snapshot benchmark end to end on a
+// tiny dataset: every field must be populated and the round trip must not
+// lose rules (RunSnapshotBench cross-checks that itself).
+func TestSnapshotBenchSmall(t *testing.T) {
+	ds, err := Short(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunSnapshotBench(ds, 2.0, 0.5, gen.Cumulate, 3, 0, 1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rules == 0 || row.FileBytes == 0 || row.EncodeSeconds <= 0 ||
+		row.LoadSeconds <= 0 || row.RebuildSeconds <= 0 || row.Speedup <= 0 {
+		t.Fatalf("degenerate snapshot bench row: %+v", row)
+	}
+	var buf bytes.Buffer
+	PrintSnapshot(&buf, []*SnapshotBench{row})
+	if buf.Len() == 0 {
+		t.Fatal("PrintSnapshot wrote nothing")
+	}
+}
+
+// TestSnapbenchSmoke is the CI startup-latency floor: booting from a .nsnap
+// mmap must beat mining Tall from raw transactions by a wide margin. Gated
+// on NEGMINE_SNAPBENCH (an integer overrides the default 10x floor), since
+// a wall-clock ratio is meaningless on an arbitrarily loaded dev machine.
+//
+// The floor is deliberately conservative: on idle hardware the mmap load is
+// 3-4 orders of magnitude faster than the mine. 10x catches a regression
+// that reintroduces parsing or index rebuilding on the load path, not noise.
+func TestSnapbenchSmoke(t *testing.T) {
+	env := os.Getenv("NEGMINE_SNAPBENCH")
+	if env == "" {
+		t.Skip("set NEGMINE_SNAPBENCH=1 (or a speedup floor) to run the cold-start floor test")
+	}
+	floor := 10.0
+	if v, err := strconv.Atoi(env); err == nil && v > 1 {
+		floor = float64(v)
+	}
+	dir := t.TempDir()
+	rows := make([]*SnapshotBench, 0, 2)
+	for _, build := range []func(int, int64) (*Dataset, error){Short, Tall} {
+		ds, err := build(10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := RunSnapshotBench(ds, 1.0, 0.5, gen.Cumulate, 0, 0, 3, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	var buf bytes.Buffer
+	PrintSnapshot(&buf, rows)
+	t.Logf("\n%s", buf.String())
+
+	tall := rows[1]
+	if tall.Speedup < floor {
+		t.Errorf("Tall mmap load is only %.1fx faster than mine-from-raw, below floor %.0fx — cold-start regression",
+			tall.Speedup, floor)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotFileRoundTripOracle is the snapshot-format oracle: build a
+// snapshot in the heap, write it to a .nsnap file, load it back through the
+// mmap path, and require every query answer — ids, entries, scores,
+// expansions, bit patterns of every float — to be identical to the in-heap
+// original. Randomized worlds cover sparse/dense/shared postings and RI
+// ties.
+func TestSnapshotFileRoundTripOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		st, tax, _, pool := randomWorld(t, rng)
+		built := BuildSnapshot(st, tax, Meta{Source: "oracle world", MinSupport: 0.01, MinRI: 0.1, CacheSize: -1})
+
+		path := filepath.Join(t.TempDir(), "snap.nsnap")
+		if err := WriteSnapshotFile(path, built, 42); err != nil {
+			t.Fatalf("trial %d: WriteSnapshotFile: %v", trial, err)
+		}
+		loaded, err := OpenSnapshotFile(path, -1)
+		if err != nil {
+			t.Fatalf("trial %d: OpenSnapshotFile: %v", trial, err)
+		}
+		if loaded.Generation() != 42 || loaded.SourceKind() != "mmap" {
+			t.Fatalf("trial %d: provenance = gen %d kind %q", trial, loaded.Generation(), loaded.SourceKind())
+		}
+		if loaded.Len() != built.Len() {
+			t.Fatalf("trial %d: %d rules loaded, want %d", trial, loaded.Len(), built.Len())
+		}
+		info := loaded.Info()
+		if info.Source != "oracle world" || info.MinSupport != 0.01 || info.MinRI != 0.1 {
+			t.Fatalf("trial %d: info = %+v", trial, info)
+		}
+		if !info.Built.Equal(built.Info().Built) {
+			t.Fatalf("trial %d: built time drifted: %v vs %v", trial, info.Built, built.Info().Built)
+		}
+
+		// Bit-identical rule arena.
+		for i := 0; i < built.Len(); i++ {
+			id := RuleID(i)
+			be, le := built.Entry(id), loaded.Entry(id)
+			if !reflect.DeepEqual(be, le) {
+				t.Fatalf("trial %d: Entry(%d) = %+v, want %+v", trial, i, le, be)
+			}
+			if math.Float64bits(built.RI(id)) != math.Float64bits(loaded.RI(id)) {
+				t.Fatalf("trial %d: RI(%d) bits differ", trial, i)
+			}
+		}
+
+		// Identical query answers on every pool item across thresholds.
+		minRIs := []float64{0, 0.2, 0.4, 0.8, 1.5}
+		queries := append(append([]string(nil), pool...), "unknown-item")
+		for _, name := range queries {
+			for _, minRI := range minRIs {
+				want := built.QueryItem(nil, name, minRI, 0)
+				got := loaded.QueryItem(nil, name, minRI, 0)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: QueryItem(%q, %v) = %v, want %v", trial, name, minRI, got, want)
+				}
+			}
+			if got, want := loaded.Expand(nil, name), built.Expand(nil, name); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: Expand(%q) = %v, want %v", trial, name, got, want)
+			}
+		}
+		for q := 0; q < 15; q++ {
+			basket := make([]string, 1+rng.Intn(4))
+			for i := range basket {
+				basket[i] = pool[rng.Intn(len(pool))]
+			}
+			minRI := minRIs[rng.Intn(len(minRIs))]
+			want := built.Score(nil, basket, minRI, 0)
+			got := loaded.Score(nil, basket, minRI, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: Score(%v, %v) = %v, want %v", trial, basket, minRI, got, want)
+			}
+		}
+
+		// Re-encoding the loaded snapshot must reproduce the file byte for
+		// byte — proof that descriptors and backing arrays survive the trip.
+		var first, second bytes.Buffer
+		if err := EncodeSnapshot(&first, built, 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeSnapshot(&second, loaded, 42); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d: re-encoded snapshot differs from original encoding", trial)
+		}
+		disk, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(disk, first.Bytes()) {
+			t.Fatalf("trial %d: on-disk bytes differ from streamed encoding", trial)
+		}
+	}
+}
+
+// TestSnapshotFileCache checks that a loaded snapshot's cache behaves like a
+// built one's: cached and uncached answers agree.
+func TestSnapshotFileCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st, tax, _, pool := randomWorld(t, rng)
+	built := BuildSnapshot(st, tax, Meta{CacheSize: -1})
+	path := filepath.Join(t.TempDir(), "snap.nsnap")
+	if err := WriteSnapshotFile(path, built, 1); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := OpenSnapshotFile(path, 0) // default cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CacheStats() == nil {
+		t.Fatal("loaded snapshot has no cache")
+	}
+	for _, name := range pool {
+		want := built.QueryItem(nil, name, 0, 0)
+		for pass := 0; pass < 2; pass++ { // second pass hits the cache
+			got := cached.QueryItem(nil, name, 0, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pass %d: QueryItem(%q) = %v, want %v", pass, name, got, want)
+			}
+		}
+	}
+}
+
+// TestOpenSnapshotFileRejectsCorruption flips bits across the file and
+// requires OpenSnapshotFile to fail cleanly every time.
+func TestOpenSnapshotFileRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st, tax, _, _ := randomWorld(t, rng)
+	built := BuildSnapshot(st, tax, Meta{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.nsnap")
+	if err := WriteSnapshotFile(path, built, 1); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 7, 40, 80, len(pristine) / 3, len(pristine) / 2, len(pristine) - 2} {
+		bad := bytes.Clone(pristine)
+		bad[pos] ^= 0x40
+		p := filepath.Join(dir, "bad.nsnap")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if snap, err := OpenSnapshotFile(p, -1); err == nil {
+			t.Fatalf("bit flip at %d: loaded %d rules from corrupt file", pos, snap.Len())
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{0, 10, 64, len(pristine) - 1} {
+		p := filepath.Join(dir, "trunc.nsnap")
+		if err := os.WriteFile(p, pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSnapshotFile(p, -1); err == nil {
+			t.Fatalf("truncation at %d loaded successfully", cut)
+		}
+	}
+}

@@ -92,6 +92,13 @@ type Snapshot struct {
 	cons  []posting
 	reach []posting
 
+	// Per-index posting descriptors plus the final shared backing arrays,
+	// retained for serialization (internal/snapfmt): a posting compressed
+	// before a backing-array reallocation aliases a stale (value-identical)
+	// copy, so the offsets recorded at compress time are the only reliable
+	// map into the final arrays.
+	anteIdx, consIdx, reachIdx postingBacking
+
 	ruleWords  int   // words per rule bitmap: ceil(len(ri)/64)
 	itemWords  int   // words per item bitset: ceil(len(names)/64)
 	arenaBytes int64 // arena slice footprint (headers + payload, excl. string bytes)
@@ -101,10 +108,32 @@ type Snapshot struct {
 	cache   *queryCache // hot-item result cache; nil when disabled
 
 	built    time.Time     // when the snapshot finished building
-	buildDur time.Duration // how long indexing took
+	buildDur time.Duration // how long indexing (or snapshot loading) took
 	source   string        // human-readable provenance ("report foo.json", "mined baskets.txt")
 	minSup   float64       // thresholds the rule set was mined at (0 if unknown)
 	minRI    float64
+
+	generation uint64 // artifact-store generation (0 when not from/in a store)
+	sourceKind string // "mined", "json", "ingest" or "mmap"
+}
+
+// pdesc mirrors snapfmt.PostingDesc (same field meaning and kind values)
+// without importing the format package into the query path.
+type pdesc struct{ off, length, n, kind uint32 }
+
+// Posting kinds in a pdesc, numerically identical to the snapfmt constants.
+const (
+	pdEmpty  uint32 = 0
+	pdSparse uint32 = 1
+	pdDense  uint32 = 2
+)
+
+// postingBacking is one index's encoded form: m descriptors over the two
+// shared backing arrays.
+type postingBacking struct {
+	descs []pdesc
+	ids   []int32
+	words []uint64
 }
 
 // queryScratch is the pooled per-query working set: a rule bitmap for
@@ -123,8 +152,10 @@ type SnapshotInfo struct {
 	ArenaBytes   int64     `json:"arenaBytes"`
 	IndexBytes   int64     `json:"indexBytes"`
 	Built        time.Time `json:"built"`
-	BuildSeconds float64   `json:"buildSeconds"`
+	BuildSeconds float64   `json:"buildSeconds"` // index-build time, or snapshot-load time for mmap sources
 	Source       string    `json:"source,omitempty"`
+	SourceKind   string    `json:"sourceKind,omitempty"` // mined | json | ingest | mmap
+	Generation   uint64    `json:"generation,omitempty"` // artifact-store generation
 	MinSupport   float64   `json:"minSupport,omitempty"`
 	MinRI        float64   `json:"minRI,omitempty"`
 }
@@ -326,10 +357,13 @@ func (s *Snapshot) buildIndexes(entries []rulestore.Entry, m int) {
 	// while the long tail of leaves is sparse.
 	s.ante = make([]posting, m)
 	s.cons = make([]posting, m)
+	s.anteIdx.descs = make([]pdesc, m)
+	s.consIdx.descs = make([]pdesc, m)
+	s.reachIdx.descs = make([]pdesc, m)
 	var anteC, consC, reachC compressor
 	for _, x := range vocab {
-		s.ante[x] = anteC.compress(anteM.Row(x))
-		s.cons[x] = consC.compress(consM.Row(x))
+		s.ante[x], s.anteIdx.descs[x] = anteC.compress(anteM.Row(x))
+		s.cons[x], s.consIdx.descs[x] = consC.compress(consM.Row(x))
 	}
 
 	// Reach index: item x's posting is the union of ante|cons over x and all
@@ -347,7 +381,7 @@ func (s *Snapshot) buildIndexes(entries []rulestore.Entry, m int) {
 				bitmat.OrInto(scratchRow, consM.Row(item.Item(a)))
 			}
 		}
-		s.reach[x] = reachC.compress(scratchRow)
+		s.reach[x], s.reachIdx.descs[x] = reachC.compress(scratchRow)
 	}
 	for id := 0; id < m; id++ {
 		if inVocab[id] {
@@ -356,10 +390,16 @@ func (s *Snapshot) buildIndexes(entries []rulestore.Entry, m int) {
 		for _, a := range s.ancChain(int32(id)) {
 			if inVocab[a] {
 				s.reach[id] = s.reach[a]
+				s.reachIdx.descs[id] = s.reachIdx.descs[a]
 				break
 			}
 		}
 	}
+	// Retain the final backing arrays: the descriptors recorded above index
+	// into exactly these, regardless of interim reallocations.
+	s.anteIdx.ids, s.anteIdx.words = anteC.ids, anteC.words
+	s.consIdx.ids, s.consIdx.words = consC.ids, consC.words
+	s.reachIdx.ids, s.reachIdx.words = reachC.ids, reachC.words
 	s.indexBytes = anteC.bytes() + consC.bytes() + reachC.bytes() + int64(3*m)*postingHeaderBytes
 }
 
@@ -375,10 +415,15 @@ type compressor struct {
 	words []uint64
 }
 
-func (c *compressor) compress(row []uint64) posting {
+// compress packs one bitmap row into the smaller of its sparse and dense
+// forms, appending to the shared backing arrays. Alongside the posting it
+// returns the row's descriptor — the (offset, length, kind) triple into the
+// final backing arrays that serialization uses, since the posting's own
+// subslice may alias a pre-reallocation copy of the backing.
+func (c *compressor) compress(row []uint64) (posting, pdesc) {
 	n := bitmat.PopCount(row)
 	if n == 0 {
-		return posting{}
+		return posting{}, pdesc{}
 	}
 	last := len(row) - 1
 	for row[last] == 0 {
@@ -391,11 +436,13 @@ func (c *compressor) compress(row []uint64) posting {
 		for i := bitmat.NextSet(row, 0); i >= 0; i = bitmat.NextSet(row, i+1) {
 			c.ids = append(c.ids, int32(i))
 		}
-		return posting{ids: c.ids[lo:len(c.ids):len(c.ids)], n: int32(n)}
+		return posting{ids: c.ids[lo:len(c.ids):len(c.ids)], n: int32(n)},
+			pdesc{off: uint32(lo), length: uint32(n), n: uint32(n), kind: pdSparse}
 	}
 	lo := len(c.words)
 	c.words = append(c.words, row[:trimmed]...)
-	return posting{bits: c.words[lo:len(c.words):len(c.words)], n: int32(n)}
+	return posting{bits: c.words[lo:len(c.words):len(c.words)], n: int32(n)},
+		pdesc{off: uint32(lo), length: uint32(trimmed), n: uint32(n), kind: pdDense}
 }
 
 func (c *compressor) bytes() int64 { return int64(len(c.ids))*4 + int64(len(c.words))*8 }
@@ -478,10 +525,29 @@ func (s *Snapshot) Info() SnapshotInfo {
 		Built:        s.built,
 		BuildSeconds: s.buildDur.Seconds(),
 		Source:       s.source,
+		SourceKind:   s.sourceKind,
+		Generation:   s.generation,
 		MinSupport:   s.minSup,
 		MinRI:        s.minRI,
 	}
 }
+
+// SetProvenance stamps the snapshot's artifact-store generation and source
+// kind ("mined", "json", "ingest", "mmap"). It must be called before the
+// snapshot is published to concurrent readers — typically right after
+// BuildSnapshot, inside the load function.
+func (s *Snapshot) SetProvenance(gen uint64, kind string) {
+	s.generation = gen
+	s.sourceKind = kind
+}
+
+// Generation returns the snapshot's artifact-store generation (0 when the
+// snapshot neither came from nor was persisted to a store).
+func (s *Snapshot) Generation() uint64 { return s.generation }
+
+// SourceKind returns how the snapshot came to be: "mined", "json",
+// "ingest" or "mmap".
+func (s *Snapshot) SourceKind() string { return s.sourceKind }
 
 // Layout describes the arena and posting-list indexes for /metrics.
 func (s *Snapshot) Layout() LayoutInfo {

@@ -1,0 +1,365 @@
+package snapfmt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"negmine/internal/fault"
+)
+
+// ErrFormat is the sentinel every structural decode failure wraps: bad
+// magic, unknown version, truncation, checksum mismatch, inconsistent
+// counts. Callers distinguish "this is not a usable snapshot" (fall back to
+// mining) from I/O errors with errors.Is.
+var ErrFormat = errors.New("invalid snapshot file")
+
+func formatErrf(format string, args ...any) error {
+	return fmt.Errorf("snapfmt: "+format+": %w", append(args, ErrFormat)...)
+}
+
+// DecodeHeader parses and verifies only the fixed header and section table
+// — the lenient entry point inspection tooling uses so a file with a
+// corrupted payload can still be described.
+func DecodeHeader(data []byte) (Header, []SectionInfo, error) {
+	if len(data) < headerSize {
+		return Header{}, nil, formatErrf("%d bytes, shorter than the %d-byte header", len(data), headerSize)
+	}
+	if got := binary.LittleEndian.Uint32(data[0:]); got != Magic {
+		return Header{}, nil, formatErrf("bad magic %#08x (want %#08x)", got, Magic)
+	}
+	if crc := crc32.Checksum(data[:60], castagnoli); crc != binary.LittleEndian.Uint32(data[60:]) {
+		return Header{}, nil, formatErrf("header checksum mismatch")
+	}
+	h := Header{
+		Version:    binary.LittleEndian.Uint32(data[4:]),
+		Generation: binary.LittleEndian.Uint64(data[8:]),
+		CreatedNs:  int64(binary.LittleEndian.Uint64(data[16:])),
+		FileSize:   binary.LittleEndian.Uint64(data[24:]),
+		Sections:   int(binary.LittleEndian.Uint32(data[32:])),
+	}
+	if h.Version != Version {
+		return Header{}, nil, formatErrf("unsupported version %d (this reader speaks %d)", h.Version, Version)
+	}
+	if h.FileSize != uint64(len(data)) {
+		return Header{}, nil, formatErrf("header says %d bytes, file has %d (truncated or grown)", h.FileSize, len(data))
+	}
+	tableEnd := uint64(headerSize) + uint64(h.Sections)*sectionSize
+	if h.Sections < 0 || tableEnd > uint64(len(data)) {
+		return Header{}, nil, formatErrf("section table (%d entries) exceeds the file", h.Sections)
+	}
+	tb := data[headerSize:tableEnd]
+	if crc := crc32.Checksum(tb, castagnoli); crc != binary.LittleEndian.Uint32(data[56:]) {
+		return Header{}, nil, formatErrf("section-table checksum mismatch")
+	}
+	table := make([]SectionInfo, h.Sections)
+	for i := range table {
+		b := tb[i*sectionSize:]
+		table[i] = SectionInfo{
+			Kind:   SectionKind(binary.LittleEndian.Uint32(b[0:])),
+			Offset: binary.LittleEndian.Uint64(b[8:]),
+			Length: binary.LittleEndian.Uint64(b[16:]),
+			CRC:    binary.LittleEndian.Uint32(b[24:]),
+		}
+	}
+	return h, table, nil
+}
+
+// sectionBytes bounds-checks one table entry against the file and returns
+// its payload bytes.
+func sectionBytes(data []byte, e SectionInfo) ([]byte, error) {
+	if e.Offset%8 != 0 {
+		return nil, formatErrf("section %s at unaligned offset %d", e.Kind.Name(), e.Offset)
+	}
+	end := e.Offset + e.Length
+	if end < e.Offset || end > uint64(len(data)) {
+		return nil, formatErrf("section %s [%d, %d) exceeds the %d-byte file", e.Kind.Name(), e.Offset, end, len(data))
+	}
+	return data[e.Offset:end:end], nil
+}
+
+// SectionStatus is one section's verification result from Check.
+type SectionStatus struct {
+	SectionInfo
+	OK  bool
+	Err string // empty when OK
+}
+
+// CheckReport is the per-section verification result (nmtx snap verify).
+type CheckReport struct {
+	Header     Header
+	Sections   []SectionStatus
+	Structural string // non-empty when checksums pass but validation fails
+	OK         bool
+}
+
+// Check verifies every section checksum plus the full structural
+// validation, reporting per-section status instead of failing on the first
+// problem. A nil error means the file could be parsed far enough to check;
+// report.OK says whether it is a valid snapshot.
+func Check(data []byte) (*CheckReport, error) {
+	h, table, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CheckReport{Header: h, OK: true}
+	for _, e := range table {
+		st := SectionStatus{SectionInfo: e, OK: true}
+		b, err := sectionBytes(data, e)
+		switch {
+		case err != nil:
+			st.OK, st.Err = false, err.Error()
+		case crc32.Checksum(b, castagnoli) != e.CRC:
+			st.OK, st.Err = false, "checksum mismatch"
+		}
+		if !st.OK {
+			rep.OK = false
+		}
+		rep.Sections = append(rep.Sections, st)
+	}
+	if rep.OK {
+		// Checksums pass; run the structural validation too, so a
+		// well-checksummed but internally inconsistent file is flagged.
+		if _, err := Decode(data); err != nil {
+			rep.OK = false
+			rep.Structural = err.Error()
+		}
+	}
+	return rep, nil
+}
+
+// Decode parses, checksums and validates data and returns the Image. On
+// little-endian hosts the image's slices alias data — the caller must keep
+// data alive (and unmodified) for the image's lifetime; this is what makes
+// serving straight off an mmap possible. Every error wraps ErrFormat.
+func Decode(data []byte) (*Image, error) {
+	if err := fault.Hit(PointDecode); err != nil {
+		return nil, err
+	}
+	h, table, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{Header: h}
+
+	// Collect required sections, verifying each checksum. Unknown kinds are
+	// ignored (additive evolution); duplicate known kinds are an error.
+	secs := map[SectionKind][]byte{}
+	for _, e := range table {
+		if e.Kind == 0 || e.Kind >= secKindEnd {
+			continue
+		}
+		if _, dup := secs[e.Kind]; dup {
+			return nil, formatErrf("duplicate section %s", e.Kind.Name())
+		}
+		b, err := sectionBytes(data, e)
+		if err != nil {
+			return nil, err
+		}
+		if crc32.Checksum(b, castagnoli) != e.CRC {
+			return nil, formatErrf("section %s checksum mismatch", e.Kind.Name())
+		}
+		secs[e.Kind] = b
+	}
+	get := func(kind SectionKind, elem int) ([]byte, error) {
+		b, ok := secs[kind]
+		if !ok {
+			return nil, formatErrf("missing section %s", kind.Name())
+		}
+		if elem > 1 && len(b)%elem != 0 {
+			return nil, formatErrf("section %s: %d bytes is not a multiple of %d", kind.Name(), len(b), elem)
+		}
+		return b, nil
+	}
+
+	// Meta.
+	mb, err := get(SecMeta, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(mb, &img.Meta); err != nil {
+		return nil, formatErrf("meta section: %v", err)
+	}
+
+	// Typed sections.
+	load := []struct {
+		kind SectionKind
+		elem int
+		set  func([]byte)
+	}{
+		{SecRI, 8, func(b []byte) { img.RI = bytesF64(b) }},
+		{SecExpected, 8, func(b []byte) { img.Expected = bytesF64(b) }},
+		{SecActual, 8, func(b []byte) { img.Actual = bytesF64(b) }},
+		{SecOff, 4, func(b []byte) { img.Off = bytesU32(b) }},
+		{SecSideIDs, 4, func(b []byte) { img.SideIDs = bytesI32(b) }},
+		{SecNameOffs, 4, func(b []byte) { img.NameOffs = bytesU32(b) }},
+		{SecNameBlob, 1, func(b []byte) { img.NameBlob = b }},
+		{SecAncOff, 4, func(b []byte) { img.AncOff = bytesU32(b) }},
+		{SecAncIDs, 4, func(b []byte) { img.AncIDs = bytesI32(b) }},
+		{SecAnteDesc, descSize, func(b []byte) { img.Ante.Descs = bytesDescs(b) }},
+		{SecAnteIDs, 4, func(b []byte) { img.Ante.IDs = bytesI32(b) }},
+		{SecAnteWords, 8, func(b []byte) { img.Ante.Words = bytesU64(b) }},
+		{SecConsDesc, descSize, func(b []byte) { img.Cons.Descs = bytesDescs(b) }},
+		{SecConsIDs, 4, func(b []byte) { img.Cons.IDs = bytesI32(b) }},
+		{SecConsWords, 8, func(b []byte) { img.Cons.Words = bytesU64(b) }},
+		{SecReachDesc, descSize, func(b []byte) { img.Reach.Descs = bytesDescs(b) }},
+		{SecReachIDs, 4, func(b []byte) { img.Reach.IDs = bytesI32(b) }},
+		{SecReachWords, 8, func(b []byte) { img.Reach.Words = bytesU64(b) }},
+	}
+	for _, l := range load {
+		b, err := get(l.kind, l.elem)
+		if err != nil {
+			return nil, err
+		}
+		l.set(b)
+	}
+
+	if err := img.validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// validate checks every structural invariant the serving layer depends on,
+// so a decoded image can be indexed and queried without further bounds
+// checks. Checksums catch random corruption; this catches truncation that
+// happens to checksum, buggy writers, and adversarial input (the fuzz
+// target drives arbitrary bytes through Decode).
+func (img *Image) validate() error {
+	n := len(img.RI)
+	if len(img.Expected) != n || len(img.Actual) != n {
+		return formatErrf("rule slices disagree: ri=%d expected=%d actual=%d",
+			n, len(img.Expected), len(img.Actual))
+	}
+	if len(img.Off) != 2*n+1 {
+		return formatErrf("off has %d entries, want %d for %d rules", len(img.Off), 2*n+1, n)
+	}
+	if len(img.NameOffs) == 0 {
+		return formatErrf("empty name-offs section")
+	}
+	m := len(img.NameOffs) - 1
+	if img.Meta.Rules != n || img.Meta.Items != m {
+		return formatErrf("meta counts (rules=%d items=%d) disagree with sections (rules=%d items=%d)",
+			img.Meta.Rules, img.Meta.Items, n, m)
+	}
+	if !validRI(img.RI) {
+		return formatErrf("rule interest is not NaN-free descending")
+	}
+	if err := monotonic("off", img.Off, len(img.SideIDs)); err != nil {
+		return err
+	}
+	if img.Off[0] != 0 {
+		return formatErrf("off does not start at 0")
+	}
+	if img.Off[2*n] != uint32(len(img.SideIDs)) {
+		return formatErrf("off ends at %d, want %d (side-ids length)", img.Off[2*n], len(img.SideIDs))
+	}
+	for _, id := range img.SideIDs {
+		if id < 0 || int(id) >= m {
+			return formatErrf("side item id %d out of range [0, %d)", id, m)
+		}
+	}
+	if err := monotonic("name-offs", img.NameOffs, len(img.NameBlob)); err != nil {
+		return err
+	}
+	if img.NameOffs[0] != 0 || img.NameOffs[m] != uint32(len(img.NameBlob)) {
+		return formatErrf("name-offs does not span the name blob")
+	}
+	if len(img.AncOff) != m+1 {
+		return formatErrf("anc-off has %d entries, want %d", len(img.AncOff), m+1)
+	}
+	if err := monotonic("anc-off", img.AncOff, len(img.AncIDs)); err != nil {
+		return err
+	}
+	if img.AncOff[0] != 0 || img.AncOff[m] != uint32(len(img.AncIDs)) {
+		return formatErrf("anc-off does not span anc-ids")
+	}
+	for _, a := range img.AncIDs {
+		if a < 0 || int(a) >= m {
+			return formatErrf("ancestor id %d out of range [0, %d)", a, m)
+		}
+	}
+	ruleWords := (n + 63) / 64
+	for _, idx := range []struct {
+		name string
+		pi   *PostingIndex
+	}{{"ante", &img.Ante}, {"cons", &img.Cons}, {"reach", &img.Reach}} {
+		if len(idx.pi.Descs) != m {
+			return formatErrf("%s index has %d descriptors, want %d", idx.name, len(idx.pi.Descs), m)
+		}
+		for i, d := range idx.pi.Descs {
+			switch d.Kind {
+			case PostingEmpty:
+				if d.Off != 0 || d.Len != 0 || d.N != 0 {
+					return formatErrf("%s[%d]: non-zero empty posting", idx.name, i)
+				}
+			case PostingSparse:
+				end := uint64(d.Off) + uint64(d.Len)
+				if end > uint64(len(idx.pi.IDs)) {
+					return formatErrf("%s[%d]: sparse posting [%d, %d) exceeds backing (%d ids)",
+						idx.name, i, d.Off, end, len(idx.pi.IDs))
+				}
+				if d.N != d.Len || d.Len == 0 {
+					return formatErrf("%s[%d]: sparse posting n=%d len=%d", idx.name, i, d.N, d.Len)
+				}
+				ids := idx.pi.IDs[d.Off:end]
+				prev := int32(-1)
+				for _, id := range ids {
+					if id <= prev || int(id) >= n {
+						return formatErrf("%s[%d]: sparse ids not ascending in [0, %d)", idx.name, i, n)
+					}
+					prev = id
+				}
+			case PostingDense:
+				end := uint64(d.Off) + uint64(d.Len)
+				if end > uint64(len(idx.pi.Words)) {
+					return formatErrf("%s[%d]: dense posting [%d, %d) exceeds backing (%d words)",
+						idx.name, i, d.Off, end, len(idx.pi.Words))
+				}
+				if int(d.Len) > ruleWords || d.Len == 0 {
+					return formatErrf("%s[%d]: dense posting %d words, max %d", idx.name, i, d.Len, ruleWords)
+				}
+				var pop uint32
+				words := idx.pi.Words[d.Off:end]
+				for _, w := range words {
+					pop += uint32(popcount(w))
+				}
+				// The last word's bits beyond rule n-1 must be clear: queries
+				// rely on never selecting a rule id ≥ n.
+				if hi := n - int(d.Len-1)*64; hi < 64 {
+					if words[len(words)-1]>>uint(hi) != 0 {
+						return formatErrf("%s[%d]: dense posting has bits beyond rule %d", idx.name, i, n-1)
+					}
+				}
+				if pop != d.N || words[len(words)-1] == 0 {
+					return formatErrf("%s[%d]: dense posting popcount %d ≠ n %d (or untrimmed)", idx.name, i, pop, d.N)
+				}
+			default:
+				return formatErrf("%s[%d]: unknown posting kind %d", idx.name, i, d.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// monotonic checks a non-decreasing offset array whose values stay ≤ max.
+func monotonic(name string, offs []uint32, max int) error {
+	prev := uint32(0)
+	for _, o := range offs {
+		if o < prev || int(o) > max {
+			return formatErrf("%s offsets not monotonic within [0, %d]", name, max)
+		}
+		prev = o
+	}
+	return nil
+}
+
+func popcount(w uint64) int {
+	c := 0
+	for ; w != 0; w &= w - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,59 @@
+package snapfmt
+
+import "sync"
+
+// File is an open, validated snapshot file: the mapped (or read) bytes plus
+// the decoded Image aliasing them. Close unmaps the bytes; everything
+// derived from the Image must be dropped first.
+type File struct {
+	Image *Image
+
+	data   []byte
+	mapped bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open maps (or reads) path, decodes and fully validates it, and returns
+// the open file. Any validation failure unmaps and returns an error wrapping
+// ErrFormat, so a corrupted or torn snapshot can never be served.
+func Open(path string) (*File, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	img, err := Decode(data)
+	if err != nil {
+		if mapped {
+			unmap(data)
+		}
+		return nil, err
+	}
+	return &File{Image: img, data: data, mapped: mapped}, nil
+}
+
+// Size returns the open file's length in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Bytes returns the raw file bytes (valid until Close).
+func (f *File) Bytes() []byte { return f.data }
+
+// Close releases the mapping. Idempotent. The Image and every slice derived
+// from it become invalid — callers tie Close to the lifetime of whatever
+// serves from the image (e.g. via a finalizer on the serving snapshot).
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if f.mapped {
+		err := unmap(f.data)
+		f.data = nil
+		return err
+	}
+	f.data = nil
+	return nil
+}

@@ -1,0 +1,28 @@
+//go:build !unix
+
+package snapfmt
+
+import (
+	"os"
+
+	"negmine/internal/fault"
+)
+
+// mapFile reads the whole file on platforms without mmap support. The
+// decoded image still aliases the buffer, so serving works identically —
+// only the page-cache sharing and lazy paging are lost.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	if err := fault.Hit(PointMmap); err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(b) == 0 {
+		return nil, false, formatErrf("%s: empty file", path)
+	}
+	return b, false, nil
+}
+
+func unmap(data []byte) error { return nil }

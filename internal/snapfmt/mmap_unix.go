@@ -1,0 +1,44 @@
+//go:build unix
+
+package snapfmt
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"negmine/internal/fault"
+)
+
+// mapFile maps path read-only and shared, so every process serving the same
+// snapshot generation shares one copy of its pages in the page cache.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, formatErrf("%s: empty file", path)
+	}
+	if int64(int(size)) != size {
+		return nil, false, fmt.Errorf("snapfmt: %s: %d bytes does not fit this platform's address space", path, size)
+	}
+	if err := fault.Hit(PointMmap); err != nil {
+		return nil, false, err
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("snapfmt: mmap %s: %w", path, err)
+	}
+	return b, true, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}
