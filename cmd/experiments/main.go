@@ -20,6 +20,10 @@
 //	experiments -snapbench -serveout BENCH_serving.json
 //	                                # .nsnap cold start: encode time, file size,
 //	                                # mmap load vs mine-from-raw rebuild
+//	experiments -clusterbench -serveout BENCH_serving.json
+//	                                # sharded cluster: merged /score latency
+//	                                # through the router at 1/2/4 shards, plus
+//	                                # one-shard-down degraded (206) mode
 //
 // -scale divides the transaction count (50,000 at scale 1) while keeping
 // the paper's 8,000-item universe, so relative supports — and hence every
@@ -72,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		obench    = fs.Bool("overloadbench", false, "drive the governed daemon at 1x/2x/4x its -max-rps and record shed rate + admitted latency")
 		ibench    = fs.Bool("ingestbench", false, "measure segment-log append throughput and delta refresh vs full re-mine at 1%/10%/50% deltas")
 		snapb     = fs.Bool("snapbench", false, "measure .nsnap encode time, file size, and mmap-load vs mine-from-raw cold start on Short and Tall")
+		clbench   = fs.Bool("clusterbench", false, "measure merged /score latency through the shard router at 1/2/4 shards, plus one-shard-down degraded mode")
 		maxRPS    = fs.Float64("maxrps", 200, "token-bucket rate the -overloadbench governor enforces (the daemon's -max-rps)")
 		overSec   = fs.Duration("overloadsec", 2*time.Second, "measurement window per -overloadbench load level")
 	)
@@ -99,9 +104,9 @@ func run(args []string, out io.Writer) error {
 		figs["5"], figs["6"], figs["7"] = true, true, true
 		tables["1"], tables["2"] = true, true
 	}
-	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench && !*ibench && !*snapb {
+	if len(figs) == 0 && len(tables) == 0 && !*cbench && !*sbench && !*obench && !*ibench && !*snapb && !*clbench {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench, -ingestbench, -snapbench or -all")
+		return fmt.Errorf("nothing selected; use -fig, -table, -countbench, -servebench, -overloadbench, -ingestbench, -snapbench, -clusterbench or -all")
 	}
 
 	sups, err := parseFloats(*minsups)
@@ -345,12 +350,31 @@ func run(args []string, out io.Writer) error {
 		bench.PrintSnapshot(out, snrows)
 		fmt.Fprintln(out)
 	}
-	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0 || len(irows) > 0 || len(snrows) > 0) {
+	var clrows []*bench.ClusterBench
+	if *clbench {
+		fmt.Fprintln(out, "=== Cluster — merged /score latency at 1/2/4 shards and one-shard-down degraded mode ===")
+		pct := 2.0
+		if len(sups) > 0 {
+			pct = sups[0]
+		}
+		ds, err := need("Short")
+		if err != nil {
+			return err
+		}
+		row, err := bench.RunClusterBench(ds, pct, *minRI, gen.Cumulate, *maxK, *parallel, *lookups/10)
+		if err != nil {
+			return err
+		}
+		clrows = append(clrows, row)
+		bench.PrintCluster(out, clrows)
+		fmt.Fprintln(out)
+	}
+	if *sbenchOut != "" && (len(srows) > 0 || len(orows) > 0 || len(irows) > 0 || len(snrows) > 0 || len(clrows) > 0) {
 		f, err := os.Create(*sbenchOut)
 		if err != nil {
 			return err
 		}
-		if err := bench.WriteServingJSON(f, *scale, srows, orows, irows, snrows); err != nil {
+		if err := bench.WriteServingJSON(f, *scale, srows, orows, irows, snrows, clrows); err != nil {
 			f.Close()
 			return err
 		}

@@ -32,12 +32,16 @@ type ingestController struct {
 	refreshes  atomic.Int64                 // completed refreshes
 	remineTxns int64                        // pending threshold that triggers a re-mine (0 = off)
 	cacheSize  int                          // hot-item query cache bound (serve.Meta.CacheSize)
+
+	// keep, when non-nil, is the cluster shard predicate: only rules it
+	// accepts are indexed into refreshed snapshots (serve.Meta.Keep).
+	keep func(ante, cons []string) bool
 }
 
 // newIngestController opens (or creates) the segment log, seeds it from
 // dataPath when the log is empty and a seed is given, and returns the
 // controller ready to be wired into a Server.
-func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns, cacheSize int) (*ingestController, error) {
+func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns, cacheSize int, keep func(ante, cons []string) bool) (*ingestController, error) {
 	tax, err := loadTaxonomy(taxPath)
 	if err != nil {
 		return nil, err
@@ -53,6 +57,7 @@ func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOpti
 		opt:        opt,
 		remineTxns: int64(remineTxns),
 		cacheSize:  cacheSize,
+		keep:       keep,
 	}
 	if dataPath != "" && log.Count() == 0 {
 		if err := c.seed(dataPath); err != nil {
@@ -122,6 +127,7 @@ func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
 		MinSupport: c.opt.MinSupport,
 		MinRI:      c.opt.MinRI,
 		CacheSize:  c.cacheSize,
+		Keep:       c.keep,
 	}
 	snap := serve.BuildSnapshot(st, c.tax, meta)
 	snap.SetProvenance(0, "ingest")

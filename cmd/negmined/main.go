@@ -75,6 +75,16 @@
 //	                  replica mode
 //	-snapshot-save    persist refreshes as new generations (default true)
 //	-snapshot-keep n  generations retained by store GC (default 4, 0 = all)
+//	-node-id s        cluster node identity, echoed in /healthz, /metrics and
+//	                  the X-Negmine-Node response header (default: the
+//	                  advertised host:port)
+//	-shard k/n        serve shard k of an n-wide cluster: only rules whose
+//	                  first antecedent item hashes to shard k are indexed
+//	-cluster-join URL register with a negrouter and heartbeat shard id,
+//	                  snapshot generation and load state
+//	-advertise a      host:port the router should dial (default: the listen
+//	                  address, wildcard hosts rewritten to 127.0.0.1)
+//	-heartbeat d      cluster heartbeat interval (default 1s)
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to -drain to finish, and the process exits 0. A
@@ -151,6 +161,13 @@ type config struct {
 
 	ingest      *ingestController // streaming mode (nil = file modes)
 	remineEvery time.Duration     // periodic re-mine trigger (streaming)
+
+	// Cluster membership (zero values = standalone daemon).
+	spec      shardSpec // -shard assignment
+	join      string    // -cluster-join router base URL ("" = no cluster)
+	nodeID    string    // -node-id ("" = default to advertised addr)
+	advertise string    // -advertise override ("" = derive from listener)
+	heartbeat time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -161,10 +178,25 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bind before the (possibly slow) initial load so the node identity can
+	// default to the real listen address — with -addr :0 the port isn't
+	// known until now.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	advertise := advertiseAddr(ln.Addr().String(), cfg.advertise)
+	nodeID := cfg.nodeID
+	if nodeID == "" {
+		nodeID = advertise
+	}
+
 	opts := []serve.Option{
 		serve.WithRequestTimeout(cfg.reqTimeout),
 		serve.WithGovernor(cfg.gov),
 		serve.WithMaxBodyBytes(cfg.maxBody),
+		serve.WithNodeID(nodeID),
 	}
 	if cfg.ingest != nil {
 		defer cfg.ingest.Close()
@@ -183,9 +215,20 @@ func run(args []string, out io.Writer) error {
 	if cfg.watch {
 		go srv.WatchWith(ctx, cfg.source, serve.WatchConfig{Interval: cfg.poll})
 	}
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
+	if cfg.join != "" {
+		member := &clusterMember{
+			join:  cfg.join,
+			node:  nodeID,
+			addr:  advertise,
+			spec:  cfg.spec,
+			every: cfg.heartbeat,
+			logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "negmined: "+format+"\n", args...)
+			},
+		}
+		go member.run(ctx, srv)
+		fmt.Fprintf(out, "negmined: joined cluster via %s as %s (shard %d/%d)\n",
+			cfg.join, nodeID, cfg.spec.shard, cfg.spec.shards)
 	}
 	snap := srv.Snapshot()
 	if info := snap.Info(); info.SourceKind != "" {
@@ -266,6 +309,12 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		snapDir  = fs.String("snapshot-dir", "", "snapshot store directory: boot from the newest .nsnap via mmap, persist refreshes; alone (no source) the daemon is a read-only replica of the store")
 		snapSave = fs.Bool("snapshot-save", true, "persist every successful re-mine/refresh as a new snapshot generation (requires -snapshot-dir)")
 		snapKeep = fs.Int("snapshot-keep", 4, "snapshot generations retained in the store (0 = all; requires -snapshot-dir)")
+
+		nodeID      = fs.String("node-id", "", "cluster node identity (default: the advertised host:port)")
+		shardFlag   = fs.String("shard", "", "serve shard k of an n-wide cluster, as k/n (e.g. 0/3)")
+		clusterJoin = fs.String("cluster-join", "", "negrouter base URL to register with and heartbeat (e.g. http://127.0.0.1:8378)")
+		advertise   = fs.String("advertise", "", "host:port the router should dial (default: the listen address)")
+		heartbeat   = fs.Duration("heartbeat", time.Second, "cluster heartbeat interval (requires -cluster-join)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -335,12 +384,40 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	if *maxQueue > 0 && *maxConc == 0 {
 		return nil, usageErrf(fs, "-max-queue requires -max-concurrent (a queue needs a concurrency ceiling to drain into)")
 	}
+	var spec shardSpec
+	if *shardFlag != "" {
+		s, err := parseShardSpec(*shardFlag)
+		if err != nil {
+			return nil, usageErrf(fs, "-shard: %v", err)
+		}
+		spec = s
+	}
+	if *clusterJoin != "" {
+		if !strings.HasPrefix(*clusterJoin, "http://") && !strings.HasPrefix(*clusterJoin, "https://") {
+			return nil, usageErrf(fs, "-cluster-join %q: want an http(s) URL", *clusterJoin)
+		}
+		if *heartbeat <= 0 {
+			return nil, usageErrf(fs, "-heartbeat = %v, want > 0", *heartbeat)
+		}
+		if !spec.active() {
+			spec = shardSpec{shard: 0, shards: 1} // single-shard cluster
+		}
+	} else {
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["heartbeat"] || set["advertise"] {
+			return nil, usageErrf(fs, "-heartbeat/-advertise require -cluster-join")
+		}
+	}
 
 	cfg := &config{
 		addr: *addr, watch: *watch, poll: *poll,
 		readTimeout: *readTO, writeTimeout: *writeTO, idleTimeout: *idleTO,
 		reqTimeout: *reqTO, drain: *drain,
+		spec: spec, join: strings.TrimRight(*clusterJoin, "/"),
+		nodeID: *nodeID, advertise: *advertise, heartbeat: *heartbeat,
 	}
+	keep := spec.keep()
 	if *maxConc > 0 || *maxRPS > 0 {
 		cfg.gov = govern.NewController(govern.Config{
 			MaxConcurrent: *maxConc,
@@ -390,6 +467,24 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		cfg.loadFunc = sc.load
 		return cfg, nil
 	}
+	// withShard stamps every loaded snapshot with the shard label. It wraps
+	// the outermost loader — after the snapshot layer — because the label is
+	// in-memory only (.nsnap files don't persist it), so an mmap-booted
+	// generation needs re-stamping too.
+	withShard := func(cfg *config, err error) (*config, error) {
+		if err != nil || !spec.active() {
+			return cfg, err
+		}
+		inner := cfg.loadFunc
+		cfg.loadFunc = func(ctx context.Context) (*serve.Snapshot, error) {
+			snap, err := inner(ctx)
+			if snap != nil {
+				snap.SetShard(spec.shard, spec.shards)
+			}
+			return snap, err
+		}
+		return cfg, nil
+	}
 	if replica {
 		store, err := artifact.OpenFS(*snapDir, *snapKeep)
 		if err != nil {
@@ -398,13 +493,13 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		sc := &snapController{store: store, cache: *cache, out: out}
 		cfg.source = store.ManifestPath() // what -watch polls: changes on every Put
 		cfg.loadFunc = sc.load
-		return cfg, nil
+		return withShard(cfg, nil)
 	}
 
 	if *repPath != "" {
 		cfg.source = *repPath
-		cfg.loadFunc = reportLoader(*repPath, *taxPath, *cache)
-		return withSnapshots(cfg)
+		cfg.loadFunc = reportLoader(*repPath, *taxPath, *cache, keep)
+		return withShard(withSnapshots(cfg))
 	}
 
 	opt := negmine.NegativeOptions{MinSupport: *minSup, MinRI: *minRI}
@@ -439,7 +534,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	opt.Gen.Count.Mem = mem
 
 	if *ingestDir != "" {
-		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns, *cache)
+		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns, *cache, keep)
 		if err != nil {
 			return nil, err
 		}
@@ -447,18 +542,19 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		cfg.remineEvery = *remineEvery
 		cfg.source = *ingestDir
 		cfg.loadFunc = ctrl.load
-		return withSnapshots(cfg)
+		return withShard(withSnapshots(cfg))
 	}
 
 	cfg.source = *dataPath
-	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt, *cache)
-	return withSnapshots(cfg)
+	cfg.loadFunc = mineLoader(*dataPath, *taxPath, opt, *cache, keep)
+	return withShard(withSnapshots(cfg))
 }
 
 // reportLoader re-reads a report JSON file on every (re)load. The taxonomy
 // is also re-read so a snapshot always pairs the report with the hierarchy
-// it was mined under.
-func reportLoader(repPath, taxPath string, cacheSize int) serve.LoadFunc {
+// it was mined under. keep, when non-nil, is the cluster shard predicate:
+// only rules it accepts are indexed.
+func reportLoader(repPath, taxPath string, cacheSize int, keep func(ante, cons []string) bool) serve.LoadFunc {
 	return func(ctx context.Context) (*serve.Snapshot, error) {
 		tax, err := loadTaxonomy(taxPath)
 		if err != nil {
@@ -479,6 +575,7 @@ func reportLoader(repPath, taxPath string, cacheSize int) serve.LoadFunc {
 			MinSupport: rep.MinSupport,
 			MinRI:      rep.MinRI,
 			CacheSize:  cacheSize,
+			Keep:       keep,
 		}
 		snap := serve.BuildSnapshot(st, tax, meta)
 		snap.SetProvenance(0, "json")
@@ -489,7 +586,7 @@ func reportLoader(repPath, taxPath string, cacheSize int) serve.LoadFunc {
 // mineLoader runs the full mining pipeline on every (re)load — hot
 // re-mining. Data and taxonomy are re-read each time so dropping a fresh
 // file in place plus /reload (or -watch) picks it up.
-func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions, cacheSize int) serve.LoadFunc {
+func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions, cacheSize int, keep func(ante, cons []string) bool) serve.LoadFunc {
 	return func(ctx context.Context) (*serve.Snapshot, error) {
 		tax, err := loadTaxonomy(taxPath)
 		if err != nil {
@@ -509,6 +606,7 @@ func mineLoader(dataPath, taxPath string, opt negmine.NegativeOptions, cacheSize
 			MinSupport: opt.MinSupport,
 			MinRI:      opt.MinRI,
 			CacheSize:  cacheSize,
+			Keep:       keep,
 		}
 		snap := serve.BuildSnapshot(st, tax, meta)
 		snap.SetProvenance(0, "mined")

@@ -1,0 +1,479 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"negmine"
+	"negmine/internal/bench"
+	"negmine/internal/cluster"
+	"negmine/internal/serve"
+)
+
+// The chaos test runs the real binaries: a negrouter process fronting three
+// negmined shard processes, one of which gets SIGKILLed mid-load. Survival
+// contract: the router never answers 5xx, degrades to 206 within one probe
+// interval, and once the shard restarts from its snapshot store the merged
+// answers are byte-identical to a single unsharded daemon's.
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// binaries builds negmined and negrouter once per test process.
+func binaries(t *testing.T) (negmined, negrouter string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "negcluster-bin-")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir,
+			"negmine/cmd/negmined", "negmine/cmd/negrouter")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(buildDir, "negmined"), filepath.Join(buildDir, "negrouter")
+}
+
+// proc is one daemon process under test.
+type proc struct {
+	t    *testing.T
+	name string
+	cmd  *exec.Cmd
+	addr string // parsed from the daemon's "... on http://ADDR" banner
+	done chan struct{}
+}
+
+var addrRe = regexp.MustCompile(`on http://(\S+)`)
+
+// startProc launches bin, waits for its listen banner, and tees all output
+// to the test log.
+func startProc(t *testing.T, name, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{t: t, name: name, cmd: exec.Command(bin, args...), done: make(chan struct{})}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = p.cmd.Stdout
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		defer close(p.done)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("[%s] %s", name, line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() { p.stop() })
+	select {
+	case p.addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not print its listen address within 30s", name)
+	}
+	return p
+}
+
+// kill SIGKILLs the process — the chaos event, no drain, no goodbye.
+func (p *proc) kill() {
+	_ = p.cmd.Process.Kill()
+	<-p.done
+	_ = p.cmd.Wait()
+}
+
+// stop terminates gracefully, escalating to SIGKILL after a timeout.
+func (p *proc) stop() {
+	if p.cmd.ProcessState != nil {
+		return
+	}
+	_ = p.cmd.Process.Signal(os.Interrupt)
+	waited := make(chan struct{})
+	go func() { _ = p.cmd.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-waited
+	}
+}
+
+// chaosFixture mines the paper's worked example and writes the report +
+// taxonomy files every shard serves.
+func chaosFixture(t *testing.T, dir string) (repPath, taxPath string, rep *negmine.NegativeReport) {
+	t.Helper()
+	tax, db, err := bench.PaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := negmine.MineNegative(db, tax, negmine.NegativeOptions{MinSupport: 0.04, MinRI: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPath = filepath.Join(dir, "rules.json")
+	taxPath = filepath.Join(dir, "tax.txt")
+	rf, err := os.Create(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := negmine.WriteNegativeJSON(rf, res, 0.04, 0.5, tax.Name); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	tf, err := os.Create(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Write(tf); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	f, err := os.Open(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err = negmine.ReadNegativeReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rules) == 0 {
+		t.Fatal("fixture mined no rules")
+	}
+	return repPath, taxPath, rep
+}
+
+// referenceHandler serves the same report unsharded, in-process — the
+// byte-identity oracle for merged router answers.
+func referenceHandler(t *testing.T, repPath, taxPath string) http.Handler {
+	t.Helper()
+	srv, err := serve.NewServer(context.Background(), func(context.Context) (*serve.Snapshot, error) {
+		tf, err := os.Open(taxPath)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		tax, err := negmine.ParseTaxonomy(tf)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := os.Open(repPath)
+		if err != nil {
+			return nil, err
+		}
+		defer rf.Close()
+		rep, err := negmine.ReadNegativeReport(rf)
+		if err != nil {
+			return nil, err
+		}
+		st := negmine.RuleStoreFromReport(rep)
+		return serve.BuildSnapshot(st, tax, serve.Meta{
+			MinSupport: rep.MinSupport, MinRI: rep.MinRI,
+		}), nil
+	}, serve.WithLogger(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv.Handler()
+}
+
+func referenceBody(t *testing.T, ref http.Handler, method, url, body string) []byte {
+	t.Helper()
+	var r *http.Request
+	if method == http.MethodPost {
+		r = httptest.NewRequest(method, url, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, url, nil)
+	}
+	rec := httptest.NewRecorder()
+	ref.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reference %s %s: %d %s", method, url, rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes()
+}
+
+// tryRouter performs one request against the live router; safe to call
+// from soak goroutines (no t.Fatal).
+func tryRouter(method, url, body string) (int, []byte, error) {
+	var req *http.Request
+	var err error
+	if method == http.MethodPost {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+func routerDo(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	code, raw, err := tryRouter(method, url, body)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	return code, raw
+}
+
+// waitRouter polls /healthz until the predicate holds.
+func waitRouter(t *testing.T, routerURL string, timeout time.Duration, want func(status string) bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(routerURL + "/healthz")
+		if err == nil {
+			var doc struct {
+				Status string `json:"status"`
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			_ = json.Unmarshal(raw, &doc)
+			last = doc.Status
+			if want(doc.Status) {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("router never reached wanted health state (last %q)", last)
+}
+
+// chaosSoakDuration is the sustained-load window: brief by default, longer
+// when CI sets NEGMINE_SOAK.
+func chaosSoakDuration() time.Duration {
+	if v := os.Getenv("NEGMINE_SOAK"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 2 * time.Second
+}
+
+func TestClusterKillAShardChaos(t *testing.T) {
+	if testing.Short() && os.Getenv("NEGMINE_CHAOS") == "" {
+		t.Skip("multi-process chaos test skipped in -short (set NEGMINE_CHAOS=1 to force)")
+	}
+	minedBin, routerBin := binaries(t)
+	dir := t.TempDir()
+	repPath, taxPath, rep := chaosFixture(t, dir)
+	ref := referenceHandler(t, repPath, taxPath)
+
+	const shards = 3
+	router := startProc(t, "router", routerBin,
+		"-addr", "127.0.0.1:0", "-shards", "3",
+		"-heartbeat-ttl", "500ms", "-probe-every", "100ms", "-shard-timeout", "1s")
+	routerURL := "http://" + router.addr
+
+	shardArgs := func(k int) []string {
+		return []string{
+			"-addr", "127.0.0.1:0", "-report", repPath, "-tax", taxPath,
+			"-shard", fmt.Sprintf("%d/%d", k, shards),
+			"-snapshot-dir", filepath.Join(dir, fmt.Sprintf("snap%d", k)),
+			"-cluster-join", routerURL, "-heartbeat", "100ms", "-drain", "2s",
+		}
+	}
+	procs := make([]*proc, shards)
+	for k := range procs {
+		procs[k] = startProc(t, fmt.Sprintf("shard%d", k), minedBin, shardArgs(k)...)
+	}
+	waitRouter(t, routerURL, 15*time.Second, func(s string) bool { return s == "ok" })
+
+	// The victim shard is whichever one owns the first mined rule's head
+	// item, so a basket with that item is guaranteed to need the dead shard.
+	victimItem := rep.Rules[0].Antecedent[0]
+	victim := cluster.ShardOfItem(victimItem, shards)
+	basketAll := make([]string, 0, len(rep.Rules))
+	seen := map[string]bool{}
+	for _, r := range rep.Rules {
+		if it := r.Antecedent[0]; !seen[it] {
+			seen[it] = true
+			basketAll = append(basketAll, it)
+		}
+	}
+	scoreBody, _ := json.Marshal(map[string]any{"basket": basketAll})
+	rulesURL := "/rules?item=" + victimItem
+
+	// Healthy cluster: merged answers are byte-identical to the unsharded
+	// single-node document — the sharding is invisible to clients.
+	assertIdentical := func(when string) {
+		t.Helper()
+		code, got := routerDo(t, http.MethodPost, routerURL+"/score", string(scoreBody))
+		want := referenceBody(t, ref, http.MethodPost, "/score", string(scoreBody))
+		if code != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("%s: merged /score (HTTP %d) diverges from single node:\n got: %s\nwant: %s",
+				when, code, got, want)
+		}
+		code, got = routerDo(t, http.MethodGet, routerURL+rulesURL, "")
+		want = referenceBody(t, ref, http.MethodGet, rulesURL, "")
+		if code != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("%s: merged /rules (HTTP %d) diverges from single node:\n got: %s\nwant: %s",
+				when, code, got, want)
+		}
+	}
+	assertIdentical("healthy cluster")
+
+	// Sustained load while the victim dies: every response must be 200 or
+	// 206 — graceful partial degradation, never a 5xx.
+	var (
+		server5xx atomic.Int64
+		transport atomic.Int64
+		partials  atomic.Int64
+		requests  atomic.Int64
+		wg        sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var code int
+				var err error
+				if w%2 == 0 {
+					code, _, err = tryRouter(http.MethodPost, routerURL+"/score", string(scoreBody))
+				} else {
+					code, _, err = tryRouter(http.MethodGet, routerURL+rulesURL, "")
+				}
+				requests.Add(1)
+				switch {
+				case err != nil:
+					// The router itself must stay reachable through the chaos.
+					transport.Add(1)
+				case code >= 500:
+					server5xx.Add(1)
+				case code == http.StatusPartialContent:
+					partials.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	soak := chaosSoakDuration()
+	time.Sleep(soak / 4)
+	t.Logf("SIGKILL shard %d (%s, owns %q)", victim, procs[victim].addr, victimItem)
+	killedAt := time.Now()
+	procs[victim].kill()
+
+	// The router must notice within one heartbeat-TTL sweep and degrade.
+	waitRouter(t, routerURL, 5*time.Second, func(s string) bool { return s == "degraded" })
+	t.Logf("router degraded %v after SIGKILL", time.Since(killedAt))
+
+	time.Sleep(soak / 2)
+	close(stop)
+	wg.Wait()
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d responses were 5xx during the outage (want graceful 206s)", n)
+	}
+	if n := transport.Load(); n > 0 {
+		t.Fatalf("%d requests failed to reach the router during the outage", n)
+	}
+	if partials.Load() == 0 {
+		t.Fatal("no partial (206) responses observed while a shard was dead")
+	}
+	t.Logf("soak: %d requests, %d partial, 0 server errors", requests.Load(), partials.Load())
+
+	// A dead-shard query is honest about what is missing.
+	code, raw := routerDo(t, http.MethodPost, routerURL+"/score",
+		fmt.Sprintf(`{"basket":[%q]}`, victimItem))
+	var partial struct {
+		Partial       bool  `json:"partial"`
+		MissingShards []int `json:"missingShards"`
+	}
+	if err := json.Unmarshal(raw, &partial); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusPartialContent || !partial.Partial ||
+		len(partial.MissingShards) != 1 || partial.MissingShards[0] != victim {
+		t.Fatalf("dead-shard score = %d %s", code, raw)
+	}
+
+	// Recovery: the same shard restarts and must boot from its snapshot
+	// store (mmap, no re-parse) and rejoin; merged answers converge back to
+	// byte-identity with the single-node oracle.
+	procs[victim] = startProc(t, fmt.Sprintf("shard%d*", victim), minedBin, shardArgs(victim)...)
+	waitRouter(t, routerURL, 15*time.Second, func(s string) bool { return s == "ok" })
+	assertIdentical("recovered cluster")
+
+	_, raw = routerDo(t, http.MethodGet, routerURL+"/cluster/status", "")
+	var st cluster.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	var recovered *cluster.ReplicaStatus
+	for i := range st.Table {
+		if st.Table[i].Shard != victim {
+			continue
+		}
+		for j := range st.Table[i].Replicas {
+			r := &st.Table[i].Replicas[j]
+			if r.Addr == procs[victim].addr {
+				recovered = r
+			}
+		}
+	}
+	if recovered == nil {
+		t.Fatalf("restarted shard %d not in cluster status: %s", victim, raw)
+	}
+	if recovered.SourceKind != "mmap" {
+		t.Fatalf("restarted shard recovered via %q, want mmap (snapshot store)", recovered.SourceKind)
+	}
+}

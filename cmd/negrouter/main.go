@@ -1,0 +1,229 @@
+// Command negrouter fronts a cluster of sharded negmined daemons: nodes
+// register and heartbeat via POST /cluster/heartbeat (negmined
+// -cluster-join), and the router fans queries out across the shards,
+// merging the ranked results into the same document a single unsharded
+// daemon would serve.
+//
+// Endpoints:
+//
+//	POST /score {"basket":[...]}   fan out by basket-item shard, merge
+//	GET  /rules?item=NAME          fan out to every shard, merge
+//	GET  /healthz                  router liveness + routable-shard summary
+//	GET  /metrics                  fan-out counters, latency, cluster status
+//	POST /cluster/heartbeat        node registration + liveness
+//	GET  /cluster/status           full shard/replica health table
+//
+// Failure model: per-shard timeouts, budgeted retries against sibling
+// replicas, optional request hedging, and per-replica circuit breakers.
+// When a shard has no routable replica its slice of the answer is omitted
+// and the response is HTTP 206 with "partial": true — a dead shard
+// degrades the answer, it never turns into a 500.
+//
+// Flags:
+//
+//	-addr host:port   listen address (default :8378)
+//	-shards n         cluster width (required)
+//	-shard-timeout d  per-shard fan-out budget, attempts included (default 2s)
+//	-retry-budget f   retries as a fraction of request volume (default 0.1,
+//	                  0 disables retries)
+//	-retry-burst f    retry token cap (default 3)
+//	-hedge-after d    duplicate a slow shard request on a sibling replica
+//	                  after this delay (default 0 = no hedging)
+//	-probe-every d    health-probe interval for down replicas (default 500ms)
+//	-heartbeat-ttl d  heartbeat staleness bound: older marks the replica
+//	                  suspect, twice older marks it down (default 3s)
+//	-down-after n     request failures that turn a suspect replica down
+//	                  (default 3)
+//	-breaker-after n  consecutive failures that open a replica's circuit
+//	                  breaker (default 3)
+//	-read-timeout/-write-timeout/-idle-timeout  http.Server limits
+//	-drain d          graceful-shutdown drain budget (default 10s)
+//
+// The router holds no durable state: restart it and the next heartbeat
+// round re-registers the fleet. It shuts down gracefully on SIGINT/SIGTERM
+// like negmined: listener closes, in-flight requests get -drain to finish.
+// Invalid flags exit 2 with usage; runtime failures exit 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"negmine/internal/cluster"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	default:
+		fmt.Fprintln(os.Stderr, "negrouter:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// usageError marks a flag-validation failure; main exits 2 for these.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func usageErrf(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return &usageError{fmt.Errorf(format, args...)}
+}
+
+// config is everything run needs after flag parsing.
+type config struct {
+	addr   string
+	router cluster.RouterConfig
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+	drain        time.Duration
+}
+
+// parseFlags builds the router config. Split from run so tests can build
+// the handler without a listening socket.
+func parseFlags(args []string, out io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("negrouter", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr         = fs.String("addr", ":8378", "listen address")
+		shards       = fs.Int("shards", 0, "cluster width (required)")
+		shardTO      = fs.Duration("shard-timeout", 2*time.Second, "per-shard fan-out budget, retries and hedges included")
+		retryBudget  = fs.Float64("retry-budget", 0.1, "retries as a fraction of request volume (0 = no retries)")
+		retryBurst   = fs.Float64("retry-burst", 3, "retry token cap")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "duplicate a slow shard request on a sibling after this delay (0 = no hedging)")
+		probeEvery   = fs.Duration("probe-every", 500*time.Millisecond, "health-probe interval for down replicas")
+		heartbeatTTL = fs.Duration("heartbeat-ttl", 3*time.Second, "heartbeat staleness bound")
+		downAfter    = fs.Int("down-after", 3, "request failures that turn a suspect replica down")
+		breakerAfter = fs.Int("breaker-after", 3, "consecutive failures that open a replica's circuit breaker")
+		readTO       = fs.Duration("read-timeout", 10*time.Second, "http.Server read timeout (0 = none)")
+		writeTO      = fs.Duration("write-timeout", 30*time.Second, "http.Server write timeout (0 = none)")
+		idleTO       = fs.Duration("idle-timeout", 2*time.Minute, "http.Server idle-connection timeout (0 = none)")
+		drain        = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *shards < 1 {
+		return nil, usageErrf(fs, "-shards = %d, want ≥ 1 (the cluster width is required)", *shards)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"-shard-timeout", *shardTO}, {"-hedge-after", *hedgeAfter},
+		{"-read-timeout", *readTO}, {"-write-timeout", *writeTO},
+		{"-idle-timeout", *idleTO}, {"-drain", *drain},
+	} {
+		if d.v < 0 {
+			return nil, usageErrf(fs, "%s = %v, want ≥ 0", d.name, d.v)
+		}
+	}
+	if *shardTO == 0 {
+		return nil, usageErrf(fs, "-shard-timeout = 0, want > 0")
+	}
+	if *probeEvery <= 0 {
+		return nil, usageErrf(fs, "-probe-every = %v, want > 0", *probeEvery)
+	}
+	if *heartbeatTTL <= 0 {
+		return nil, usageErrf(fs, "-heartbeat-ttl = %v, want > 0", *heartbeatTTL)
+	}
+	if *retryBudget < 0 || *retryBurst < 0 {
+		return nil, usageErrf(fs, "-retry-budget/-retry-burst want ≥ 0")
+	}
+	if *downAfter < 1 || *breakerAfter < 1 {
+		return nil, usageErrf(fs, "-down-after/-breaker-after want ≥ 1")
+	}
+
+	rc := cluster.RouterConfig{
+		Shards:       *shards,
+		ShardTimeout: *shardTO,
+		RetryBudget:  *retryBudget,
+		RetryBurst:   *retryBurst,
+		HedgeAfter:   *hedgeAfter,
+		Pool: cluster.PoolConfig{
+			Shards:        *shards,
+			HeartbeatTTL:  *heartbeatTTL,
+			ProbeInterval: *probeEvery,
+			DownAfter:     *downAfter,
+			BreakerAfter:  *breakerAfter,
+		},
+	}
+	if *retryBudget == 0 {
+		rc.RetryBudget = -1 // RouterConfig treats 0 as "default"; negative disables
+	}
+	return &config{
+		addr: *addr, router: rc,
+		readTimeout: *readTO, writeTimeout: *writeTO,
+		idleTimeout: *idleTO, drain: *drain,
+	}, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args, out)
+	if err != nil {
+		return err
+	}
+	cfg.router.Logf = func(format string, args ...any) {
+		fmt.Fprintf(out, "negrouter: "+format+"\n", args...)
+	}
+	rt, err := cluster.NewRouter(cfg.router)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx) // heartbeat sweep + down-replica probe loop
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "negrouter: routing %d shards on http://%s\n", cfg.router.Shards, ln.Addr())
+
+	hs := &http.Server{
+		Handler:      rt.Handler(),
+		ReadTimeout:  cfg.readTimeout,
+		WriteTimeout: cfg.writeTimeout,
+		IdleTimeout:  cfg.idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(out, "negrouter: signal received, draining for up to %v\n", cfg.drain)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "negrouter: drained, bye")
+	return nil
+}

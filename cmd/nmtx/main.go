@@ -21,6 +21,10 @@
 //	nmtx snap verify file.nsnap        # checksum + structural verification
 //	nmtx snap diff old.nsnap new.nsnap # rule-set delta
 //
+// The cluster subcommand talks to a running negrouter:
+//
+//	nmtx cluster status -router URL    # shard health, generations, breakers
+//
 // Packed .nmtx files are the -data input of the mining pipeline: `negmine
 // -data out.nmtx -format json` writes the report JSON that the cmd/negmined
 // daemon serves (`negmined -report rules.json`, or `negmined -data out.nmtx`
@@ -48,10 +52,13 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	// `nmtx snap ...` is a subcommand family with its own argument shape;
-	// dispatch before flag parsing.
+	// `nmtx snap ...` and `nmtx cluster ...` are subcommand families with
+	// their own argument shapes; dispatch before flag parsing.
 	if len(args) > 0 && args[0] == "snap" {
 		return runSnap(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "cluster" {
+		return runCluster(args[1:], out)
 	}
 	fs := flag.NewFlagSet("nmtx", flag.ContinueOnError)
 	fs.SetOutput(out)

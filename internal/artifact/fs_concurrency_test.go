@@ -1,0 +1,155 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFSConcurrentProducerAndFollowers drives the replica-cluster access
+// pattern: one producer handle commits generations (with retention GC
+// evicting old ones) while two independently opened follower handles — the
+// moral equivalent of replica daemons on the same directory — concurrently
+// poll Latest, List and re-read artifact bytes. Invariants:
+//
+//   - every Get a follower completes yields exactly the committed bytes
+//     (size and CRC-32C match the Info it was listed under);
+//   - Latest never goes backwards from any single follower's viewpoint;
+//   - the only tolerated failure is ErrNotFound / a vanished file for a
+//     generation that retention GC evicted between list and read.
+func TestFSConcurrentProducerAndFollowers(t *testing.T) {
+	dir := t.TempDir()
+	producer, err := OpenFS(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Followers are opened before production starts — the store supports one
+	// producer and many readers, and reader handles follow via the manifest,
+	// not by re-opening (OpenFS reconciliation is the producer's job).
+	followers := make([]*FS, 2)
+	for i := range followers {
+		if followers[i], err = OpenFS(dir, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const gens = 60
+	payload := func(gen uint64) string {
+		return fmt.Sprintf("generation %d payload %d", gen, gen*gen)
+	}
+
+	var produced atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < gens; i++ {
+			info, err := producer.Put("soak", func(gen uint64, w io.Writer) error {
+				_, err := io.WriteString(w, payload(gen))
+				return err
+			})
+			if err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+			produced.Store(info.Generation)
+		}
+	}()
+
+	for fi, f := range followers {
+		wg.Add(1)
+		go func(fi int, f *FS) {
+			defer wg.Done()
+			var lastSeen uint64
+			reads := 0
+			for produced.Load() < gens {
+				latest, err := f.Latest()
+				if errors.Is(err, ErrEmpty) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("follower %d: Latest: %v", fi, err)
+					return
+				}
+				if latest.Generation < lastSeen {
+					t.Errorf("follower %d: Latest went backwards: %d after %d",
+						fi, latest.Generation, lastSeen)
+					return
+				}
+				lastSeen = latest.Generation
+
+				list, err := f.List()
+				if err != nil {
+					t.Errorf("follower %d: List: %v", fi, err)
+					return
+				}
+				for _, info := range list {
+					rc, got, err := f.Get(info.Generation)
+					if err != nil {
+						// Retention GC may evict a listed generation before the
+						// read lands; anything else is a real failure.
+						if errors.Is(err, ErrNotFound) || errors.Is(err, os.ErrNotExist) {
+							continue
+						}
+						t.Errorf("follower %d: Get(%d): %v", fi, info.Generation, err)
+						return
+					}
+					b, err := io.ReadAll(rc)
+					rc.Close()
+					if err != nil {
+						t.Errorf("follower %d: read gen %d: %v", fi, info.Generation, err)
+						return
+					}
+					// Committed bytes are immutable: a follower never observes a
+					// torn or partially written generation.
+					if want := payload(info.Generation); string(b) != want {
+						t.Errorf("follower %d: gen %d bytes = %q, want %q", fi, info.Generation, b, want)
+						return
+					}
+					if crc := crc32.Checksum(b, castagnoli); crc != got.CRC32 || int64(len(b)) != got.Size {
+						t.Errorf("follower %d: gen %d crc/size mismatch (%x/%d vs %x/%d)",
+							fi, info.Generation, crc, len(b), got.CRC32, got.Size)
+						return
+					}
+					reads++
+				}
+			}
+			if reads == 0 {
+				t.Errorf("follower %d finished without completing a single read", fi)
+			}
+		}(fi, f)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: both followers agree with the producer on the final state,
+	// and retention kept exactly the last 4 generations.
+	want, err := producer.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 4 || want[len(want)-1].Generation != gens {
+		t.Fatalf("final producer state = %+v", want)
+	}
+	for fi, f := range followers {
+		got, err := f.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("follower %d sees %d generations, producer %d", fi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("follower %d entry %d = %+v, producer %+v", fi, i, got[i], want[i])
+			}
+		}
+	}
+}

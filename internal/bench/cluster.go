@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"time"
+
+	"negmine/internal/cluster"
+	"negmine/internal/gen"
+	"negmine/internal/negative"
+	"negmine/internal/report"
+	"negmine/internal/rulestore"
+	"negmine/internal/serve"
+)
+
+// ClusterRow is one measured cluster configuration: /score latency through
+// a negrouter fanning out over width shards (each a real HTTP daemon on
+// loopback), merged back into the single-node document.
+type ClusterRow struct {
+	Shards          int     `json:"shards"`
+	DownShards      int     `json:"down_shards,omitempty"`
+	Queries         int     `json:"queries"`
+	ScoresPerSecond float64 `json:"scores_per_second"`
+	ScoreP50Micros  float64 `json:"score_p50_us"`
+	ScoreP99Micros  float64 `json:"score_p99_us"`
+	// PartialRate is the fraction of responses that were HTTP 206 (a shard
+	// had no routable replica). Zero for a healthy cluster.
+	PartialRate float64 `json:"partial_rate,omitempty"`
+}
+
+// ClusterBench is the BENCH_serving.json cluster section: merged-query
+// latency through the router at 1/2/4 shards, plus the degraded case — the
+// widest cluster with one shard down, answering 206s instead of failing.
+type ClusterBench struct {
+	Dataset  string       `json:"dataset"`
+	Rules    int          `json:"rules"`
+	Rows     []ClusterRow `json:"rows"`
+	Degraded ClusterRow   `json:"degraded"`
+}
+
+// RunClusterBench mines ds once, then serves the rule set through in-process
+// shard daemons (real loopback HTTP) fronted by a cluster router, measuring
+// merged /score latency at each width and with one shard down.
+func RunClusterBench(ds *Dataset, minSupPct, minRI float64, genAlg gen.Algorithm, maxK, parallel, queries int) (*ClusterBench, error) {
+	if queries < 1 {
+		queries = 2000
+	}
+	opt := negative.Options{
+		MinSupport: minSupPct / 100,
+		MinRI:      minRI,
+		Algorithm:  negative.Improved,
+		Gen:        gen.Options{Algorithm: genAlg, MaxK: maxK},
+	}
+	opt.Count.Parallelism = parallel
+	opt.Gen.Count.Parallelism = parallel
+	res, err := negative.Mine(ds.DB, ds.Tax, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mining %s for cluster: %w", ds.Name, err)
+	}
+	rep := report.BuildNegative(res, opt.MinSupport, opt.MinRI, ds.Tax.Name)
+	st := rulestore.FromReport(rep)
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("bench: %s mined no rules at minsup %.2f%%; lower the support", ds.Name, minSupPct)
+	}
+
+	vocab := map[string]struct{}{}
+	st.Each(func(e rulestore.Entry) bool {
+		for _, n := range e.Antecedent {
+			vocab[n] = struct{}{}
+		}
+		return true
+	})
+	items := make([]string, 0, len(vocab))
+	for n := range vocab {
+		items = append(items, n)
+	}
+	sort.Strings(items)
+
+	out := &ClusterBench{Dataset: ds.Name, Rules: st.Len()}
+	for _, width := range []int{1, 2, 4} {
+		row, err := runClusterWidth(ds, st, items, width, -1, queries)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	// Degraded: the widest cluster with one shard lacking any replica. The
+	// router answers immediately-partial 206s for baskets that need it.
+	deg, err := runClusterWidth(ds, st, items, 4, 0, queries)
+	if err != nil {
+		return nil, err
+	}
+	out.Degraded = *deg
+	return out, nil
+}
+
+// runClusterWidth stands up width shard daemons (skipping downShard when
+// ≥ 0), fronts them with a router, and measures /score through the merge
+// path. Shard backends are real httptest servers so every query pays
+// loopback HTTP to each fanned-out shard, like a deployed cluster would.
+func runClusterWidth(ds *Dataset, st *rulestore.Store, items []string, width, downShard, queries int) (*ClusterRow, error) {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Shards: width, ShardTimeout: 2 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	var backends []*httptest.Server
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	for k := 0; k < width; k++ {
+		if k == downShard {
+			continue
+		}
+		meta := serve.Meta{Source: fmt.Sprintf("bench %s shard %d/%d", ds.Name, k, width)}
+		if width > 1 {
+			shard := k
+			meta.Keep = func(ante, cons []string) bool {
+				return cluster.ShardOfAntecedent(ante, width) == shard
+			}
+		}
+		snap := serve.BuildSnapshot(st, ds.Tax, meta)
+		srv, err := serve.NewServer(context.Background(),
+			func(context.Context) (*serve.Snapshot, error) { return snap, nil },
+			serve.WithLogger(func(string, ...any) {}))
+		if err != nil {
+			return nil, err
+		}
+		backend := httptest.NewServer(srv.Handler())
+		backends = append(backends, backend)
+		err = rt.Pool().Heartbeat(cluster.Heartbeat{
+			Node:       fmt.Sprintf("bench-%d-of-%d", k, width),
+			Addr:       strings.TrimPrefix(backend.URL, "http://"),
+			Shard:      k,
+			Shards:     width,
+			Generation: 1,
+			Rules:      snap.Len(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	handler := rt.Handler()
+
+	row := &ClusterRow{Shards: width, Queries: queries}
+	if downShard >= 0 {
+		row.DownShards = 1
+	}
+	body := func(i int) string {
+		return fmt.Sprintf(`{"basket":[%q,%q,%q]}`,
+			items[i%len(items)], items[(i*7+1)%len(items)], items[(i*13+2)%len(items)])
+	}
+	do := func(i int) (int, error) {
+		req := httptest.NewRequest(http.MethodPost, "/score", strings.NewReader(body(i)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusPartialContent {
+			return 0, fmt.Errorf("bench: cluster /score (width %d): HTTP %d: %s", width, rec.Code, rec.Body.String())
+		}
+		return rec.Code, nil
+	}
+	// Warmup: connections, scratch pools, hot-item caches.
+	for i := 0; i < 64; i++ {
+		if _, err := do(i); err != nil {
+			return nil, err
+		}
+	}
+	lat := make([]time.Duration, queries)
+	partials := 0
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		q := time.Now()
+		code, err := do(i)
+		if err != nil {
+			return nil, err
+		}
+		lat[i] = time.Since(q)
+		if code == http.StatusPartialContent {
+			partials++
+		}
+	}
+	total := time.Since(start)
+	row.ScoresPerSecond = float64(queries) / total.Seconds()
+	p50, p99, _ := latencyQuantiles(lat)
+	row.ScoreP50Micros = p50.Seconds() * 1e6
+	row.ScoreP99Micros = p99.Seconds() * 1e6
+	row.PartialRate = float64(partials) / float64(queries)
+	return row, nil
+}
+
+// PrintCluster renders the cluster benchmark as a human-readable summary.
+func PrintCluster(w io.Writer, rows []*ClusterBench) {
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s: %d rules through the router\n", r.Dataset, r.Rules)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "  %d shard(s): %.0f merged scores/s, p50 %.0fµs p99 %.0fµs\n",
+				row.Shards, row.ScoresPerSecond, row.ScoreP50Micros, row.ScoreP99Micros)
+		}
+		d := r.Degraded
+		fmt.Fprintf(w, "  %d shards, %d down: %.0f scores/s, p50 %.0fµs p99 %.0fµs, %.0f%% partial (206)\n",
+			d.Shards, d.DownShards, d.ScoresPerSecond, d.ScoreP50Micros, d.ScoreP99Micros, d.PartialRate*100)
+	}
+}

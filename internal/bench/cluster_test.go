@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"negmine/internal/gen"
+)
+
+// TestClusterBenchSmoke runs the sharded-router benchmark end to end on a
+// small Short dataset: every width must complete its queries with no
+// partials, and the degraded run (one of four shards down) must keep
+// answering — some responses 206 — rather than fail.
+func TestClusterBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench stands up live HTTP shards; skipped in -short")
+	}
+	ds, err := Short(25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunClusterBench(ds, 1.0, 0.5, gen.Cumulate, 0, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rules == 0 {
+		t.Fatal("cluster bench mined no rules")
+	}
+	if len(row.Rows) != 3 {
+		t.Fatalf("got %d healthy rows, want 3 (widths 1/2/4)", len(row.Rows))
+	}
+	for i, want := range []int{1, 2, 4} {
+		r := row.Rows[i]
+		if r.Shards != want {
+			t.Errorf("row %d width = %d, want %d", i, r.Shards, want)
+		}
+		if r.PartialRate != 0 {
+			t.Errorf("healthy width %d: partial rate %.3f, want 0", r.Shards, r.PartialRate)
+		}
+		if r.ScoresPerSecond <= 0 || r.ScoreP99Micros <= 0 {
+			t.Errorf("width %d: empty measurement %+v", r.Shards, r)
+		}
+	}
+	d := row.Degraded
+	if d.Shards != 4 || d.DownShards != 1 {
+		t.Fatalf("degraded config = %d shards, %d down; want 4/1", d.Shards, d.DownShards)
+	}
+	if d.ScoresPerSecond <= 0 {
+		t.Fatal("degraded cluster stopped answering")
+	}
+	if d.PartialRate <= 0 {
+		t.Fatal("degraded run saw no 206s — the down shard was never needed, bench is vacuous")
+	}
+
+	var buf bytes.Buffer
+	PrintCluster(&buf, []*ClusterBench{row})
+	t.Logf("\n%s", buf.String())
+}

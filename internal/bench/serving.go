@@ -216,7 +216,7 @@ func latencyQuantiles(lat []time.Duration) (p50, p99, p999 time.Duration) {
 // WriteServingJSON renders serving benchmarks (and, when run, the overload,
 // ingest and snapshot benchmarks) as the indented JSON stored in
 // BENCH_serving.json.
-func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench, ingest []*IngestBench, snapshot []*SnapshotBench) error {
+func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*OverloadBench, ingest []*IngestBench, snapshot []*SnapshotBench, clusterRows []*ClusterBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
@@ -226,13 +226,15 @@ func WriteServingJSON(w io.Writer, scale int, rows []*ServingBench, overload []*
 		Overload    []*OverloadBench `json:"overload,omitempty"`
 		Ingest      []*IngestBench   `json:"ingest,omitempty"`
 		Snapshot    []*SnapshotBench `json:"snapshot,omitempty"`
+		Cluster     []*ClusterBench  `json:"cluster,omitempty"`
 	}{
-		Description: "Serving layer: snapshot build time and QueryItem/Score throughput, latency and allocations on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench; snapshot section by -snapbench)",
+		Description: "Serving layer: snapshot build time and QueryItem/Score throughput, latency and allocations on mined rule sets (produced by cmd/experiments -servebench; overload section by -overloadbench; ingest section by -ingestbench; snapshot section by -snapbench; cluster section by -clusterbench)",
 		Scale:       scale,
 		Benches:     rows,
 		Overload:    overload,
 		Ingest:      ingest,
 		Snapshot:    snapshot,
+		Cluster:     clusterRows,
 	})
 }
 

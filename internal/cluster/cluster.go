@@ -1,0 +1,137 @@
+// Package cluster is the fault-tolerant coordination layer that scales the
+// single-process rule daemon out into a sharded, replicated fleet: negmined
+// nodes register with a router and heartbeat their shard identity, snapshot
+// generation and load state; the router (cmd/negrouter) maintains a
+// health-checked shard pool and fans POST /score and GET /rules out across
+// the shards, merging the per-shard ranked results into a response that is
+// byte-identical to what one unsharded daemon would have served.
+//
+// # Sharding contract
+//
+// Rules are partitioned by antecedent item: a rule belongs to the shard of
+// its lexicographically-first antecedent item (ShardOfAntecedent). The
+// assignment is a pure function of the rule and the shard count, so every
+// producer filtering a snapshot (serve.Meta.Keep) and every router routing a
+// query computes the same mapping with no coordination. Because a triggered
+// rule's antecedent is a subset of the basket, the shards owning the
+// basket's items (ShardsForBasket) are exactly the shards that can own a
+// triggered rule — /score fans out only to those; /rules?item=X fans out to
+// every shard, since X may sit on any rule's consequent.
+//
+// # Failure model
+//
+// Robustness is the point of the package, in the same spirit as the paper's
+// Partition guarantee (per-shard results stay exact over disjoint data, so
+// a partial answer is still a correct answer over the shards that remain):
+//
+//   - Every replica runs the health state machine healthy → suspect → down
+//     → recovering, driven by heartbeats, request outcomes, and exponential
+//     backoff probes (Pool).
+//   - Requests get per-shard timeouts, budgeted retries against sibling
+//     replicas, and optional hedging for tail latency (Router).
+//   - Per-replica circuit breakers (modeled on the serve watch breaker)
+//     stop hammering a replica that keeps failing; an open breaker lets one
+//     trial request through after an exponentially growing cool-down.
+//   - A shard with no usable replica degrades the response instead of
+//     failing it: the router answers 206 with "partial": true and the
+//     missing shard ids, never a 5xx.
+//
+// The cluster.* failpoints below make every one of those paths reproducible
+// on demand (see internal/fault).
+package cluster
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Failpoints (see internal/fault). All are no-ops unless armed by a test or
+// NEGMINE_FAULTS.
+const (
+	// PointHeartbeat fires on every heartbeat the router ingests; an error
+	// action models lost or rejected heartbeats (a healthy node that the
+	// router slowly stops trusting), a sleep action a slow intake path.
+	PointHeartbeat = "cluster.heartbeat"
+
+	// PointDial fires before every proxied shard request (fan-out attempts,
+	// retries and hedges alike); an error action models an unreachable
+	// replica and must drive the retry → breaker → partial-response chain,
+	// never a router 5xx.
+	PointDial = "cluster.dial"
+
+	// PointMerge fires at the top of every fan-out result merge; an error
+	// action models a merge bug and is the one cluster failure that is
+	// allowed to surface as a router 500 (it is the router's own fault, not
+	// a shard's).
+	PointMerge = "cluster.merge"
+)
+
+// ShardOfItem maps an item name to its owning shard in [0, shards).
+// The hash is FNV-1a, pinned here as the cross-process contract: producers
+// filtering snapshots and routers routing queries must agree byte-for-byte.
+func ShardOfItem(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ShardOfAntecedent maps a rule to its owning shard: the shard of the
+// lexicographically-first antecedent item. Serving-layer entries carry
+// their sides pre-sorted, but the minimum is computed defensively so the
+// assignment never depends on caller ordering.
+func ShardOfAntecedent(antecedent []string, shards int) int {
+	if len(antecedent) == 0 || shards <= 1 {
+		return 0
+	}
+	min := antecedent[0]
+	for _, name := range antecedent[1:] {
+		if name < min {
+			min = name
+		}
+	}
+	return ShardOfItem(min, shards)
+}
+
+// ShardsForBasket returns the sorted, de-duplicated shard ids that can own
+// a rule triggered by the basket (the shards of the basket's items).
+func ShardsForBasket(basket []string, shards int) []int {
+	if shards <= 1 {
+		return []int{0}
+	}
+	seen := make([]bool, shards)
+	out := make([]int, 0, len(basket))
+	for _, name := range basket {
+		seen[ShardOfItem(name, shards)] = true
+	}
+	for id, hit := range seen {
+		if hit {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Heartbeat is the payload a negmined node POSTs to the router's
+// /cluster/heartbeat endpoint. The first heartbeat registers the node; every
+// later one refreshes its liveness and advertises what it is serving, so the
+// router can prefer fresher, less-loaded replicas.
+type Heartbeat struct {
+	Node  string `json:"node"`  // node identity (negmined -node-id)
+	Addr  string `json:"addr"`  // host:port the router should dial
+	Shard int    `json:"shard"` // shard this node serves, in [0, shards)
+	// Shards is the node's view of the cluster width; the router rejects a
+	// heartbeat whose width disagrees with its own -shards so a misconfigured
+	// node cannot silently serve a differently-partitioned rule set.
+	Shards     int     `json:"shards"`
+	Generation uint64  `json:"generation"`           // snapshot generation being served
+	AgeSeconds float64 `json:"snapshotAgeSeconds"`   // staleness of the served snapshot
+	Rules      int     `json:"rules"`                // rules in the served snapshot
+	SourceKind string  `json:"sourceKind,omitempty"` // mined | json | ingest | mmap
+	Degraded   bool    `json:"degraded,omitempty"`   // govern degraded mode (shedding expensive work)
+}
+
+// nowFunc is the clock the pool runs on; injectable for deterministic tests.
+type nowFunc func() time.Time

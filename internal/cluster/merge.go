@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+)
+
+// The wire types mirror internal/serve's response payloads field-for-field
+// (names and order), because the router's merged response must be
+// byte-identical to a single unsharded daemon's whenever every shard
+// answered. Partial-failure fields are appended with omitempty so a healthy
+// merge emits exactly the single-node document.
+
+// WireRule is one rule as served by /rules and inside /score matches.
+type WireRule struct {
+	Antecedent      []string `json:"antecedent"`
+	Consequent      []string `json:"consequent"`
+	RuleInterest    float64  `json:"ruleInterest"`
+	ExpectedSupport float64  `json:"expectedSupport"`
+	ActualSupport   float64  `json:"actualSupport"`
+}
+
+// WireMatch is one triggered rule in a /score response.
+type WireMatch struct {
+	WireRule
+	Triggers map[string]string `json:"triggers"`
+}
+
+// RulesDoc is the /rules payload, optionally marked partial.
+type RulesDoc struct {
+	Item     string     `json:"item"`
+	Expanded []string   `json:"expanded"`
+	MinRI    float64    `json:"minRI"`
+	Rules    []WireRule `json:"rules"`
+	// Partial marks a degraded response: the shards in MissingShards were
+	// unreachable and their rules are absent. Never set on a full answer.
+	Partial       bool  `json:"partial,omitempty"`
+	MissingShards []int `json:"missingShards,omitempty"`
+}
+
+// ScoreDoc is the /score payload, optionally marked partial.
+type ScoreDoc struct {
+	Basket        []string    `json:"basket"`
+	MinRI         float64     `json:"minRI"`
+	Matches       []WireMatch `json:"matches"`
+	Partial       bool        `json:"partial,omitempty"`
+	MissingShards []int       `json:"missingShards,omitempty"`
+}
+
+// signature reproduces rulestore.Entry.Signature for a wire rule: the sides
+// arrive pre-sorted from the serving layer, so the join alone matches.
+func signature(r *WireRule) string {
+	return strings.Join(r.Antecedent, "\x1f") + "\x1e" + strings.Join(r.Consequent, "\x1f")
+}
+
+// ruleLess is the serving order: descending RI, ties by ascending
+// signature. This is exactly the order a single daemon assigns RuleIDs in
+// (rulestore signature order, stable-sorted by RI), so merging disjoint
+// per-shard ranked lists with it reconstructs the single-node ranking.
+func ruleLess(a, b *WireRule) bool {
+	if a.RuleInterest != b.RuleInterest {
+		return a.RuleInterest > b.RuleInterest
+	}
+	return signature(a) < signature(b)
+}
+
+// MergeRules merges per-shard /rules result lists into serving order,
+// truncated to limit (0 = unlimited). Shards partition the rule set, so the
+// merge is a pure reorder — no deduplication is needed or performed.
+func MergeRules(lists [][]WireRule, limit int) []WireRule {
+	out := []WireRule{} // non-nil: an empty result must encode as [], like serve's
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return ruleLess(&out[i], &out[j]) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// MergeMatches merges per-shard /score match lists into serving order,
+// truncated to limit (0 = unlimited).
+func MergeMatches(lists [][]WireMatch, limit int) []WireMatch {
+	out := []WireMatch{}
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return ruleLess(&out[i].WireRule, &out[j].WireRule) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMergeRulesReconstructsGlobalOrder(t *testing.T) {
+	// Build a global rule set, rank it the way a single daemon would
+	// (RI desc, signature asc), then shard it and check the merge of the
+	// per-shard ranked lists reproduces the global ranking exactly.
+	rng := rand.New(rand.NewSource(1))
+	items := []string{"bread", "milk", "beer", "eggs", "jam", "tea", "rice", "soda"}
+	var all []WireRule
+	for i := 0; i < 64; i++ {
+		a := items[rng.Intn(len(items))]
+		b := items[rng.Intn(len(items))]
+		if a == b {
+			continue
+		}
+		// Quantized RI so ties actually occur and exercise the signature
+		// tiebreak.
+		all = append(all, WireRule{
+			Antecedent:   []string{a},
+			Consequent:   []string{b},
+			RuleInterest: float64(rng.Intn(5)) / 4,
+		})
+	}
+	global := append([]WireRule(nil), all...)
+	sort.SliceStable(global, func(i, j int) bool { return ruleLess(&global[i], &global[j]) })
+
+	const shards = 3
+	lists := make([][]WireRule, shards)
+	for _, r := range all {
+		s := ShardOfAntecedent(r.Antecedent, shards)
+		lists[s] = append(lists[s], r)
+	}
+	for s := range lists {
+		sort.SliceStable(lists[s], func(i, j int) bool { return ruleLess(&lists[s][i], &lists[s][j]) })
+	}
+
+	merged := MergeRules(lists, 0)
+	if len(merged) != len(global) {
+		t.Fatalf("merged %d rules, want %d", len(merged), len(global))
+	}
+	for i := range merged {
+		if signature(&merged[i]) != signature(&global[i]) || merged[i].RuleInterest != global[i].RuleInterest {
+			t.Fatalf("rank %d: merged %v, want %v", i, merged[i], global[i])
+		}
+	}
+
+	limited := MergeRules(lists, 5)
+	if len(limited) != 5 {
+		t.Fatalf("limit: got %d rules", len(limited))
+	}
+	for i := range limited {
+		if signature(&limited[i]) != signature(&global[i]) {
+			t.Fatalf("limited rank %d diverges from global order", i)
+		}
+	}
+}
+
+func TestMergeEmptyEncodesAsArray(t *testing.T) {
+	b, err := json.Marshal(MergeRules(nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Fatalf("empty rule merge encodes as %s, want []", b)
+	}
+	b, err = json.Marshal(MergeMatches([][]WireMatch{{}, nil}, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Fatalf("empty match merge encodes as %s, want []", b)
+	}
+}
+
+func TestSignatureMatchesRulestoreFormat(t *testing.T) {
+	r := WireRule{Antecedent: []string{"a", "b"}, Consequent: []string{"c"}}
+	want := strings.Join(r.Antecedent, "\x1f") + "\x1e" + strings.Join(r.Consequent, "\x1f")
+	if got := signature(&r); got != want {
+		t.Fatalf("signature = %q, want %q", got, want)
+	}
+}
+
+func TestMergeTiesBreakBySignature(t *testing.T) {
+	a := WireRule{Antecedent: []string{"b"}, Consequent: []string{"x"}, RuleInterest: 0.5}
+	b := WireRule{Antecedent: []string{"a"}, Consequent: []string{"x"}, RuleInterest: 0.5}
+	merged := MergeRules([][]WireRule{{a}, {b}}, 0)
+	if merged[0].Antecedent[0] != "a" || merged[1].Antecedent[0] != "b" {
+		t.Fatalf("tie not broken by signature: %v", merged)
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Latency histogram bucket bounds, matching internal/serve's /metrics
+// buckets so router and shard latencies line up in dashboards.
+var bucketBounds = [...]time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	1 * time.Second,
+}
+
+type histogram struct {
+	buckets [len(bucketBounds) + 1]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for ; i < len(bucketBounds); i++ {
+		if d <= bucketBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			return bucketBounds[len(bucketBounds)-1]
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+type histogramJSON struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+func (h *histogram) export() histogramJSON {
+	out := histogramJSON{Count: h.count.Load()}
+	if out.Count > 0 {
+		out.MeanMs = float64(h.sumNs.Load()) / float64(out.Count) / 1e6
+		out.P50Ms = h.quantile(0.50).Seconds() * 1e3
+		out.P99Ms = h.quantile(0.99).Seconds() * 1e3
+	}
+	return out
+}
+
+// Router endpoint ids tracked by routerMetrics.
+const (
+	repScore = iota
+	repRules
+	repStatus
+	repHeartbeat
+	repOther
+	repCount
+)
+
+var repNames = [repCount]string{"score", "rules", "status", "heartbeat", "other"}
+
+// routerMetrics aggregates the router's counters. Everything is atomic: the
+// /metrics handler reads while request goroutines write.
+type routerMetrics struct {
+	requests [repCount]atomic.Int64
+	errors   [repCount]atomic.Int64
+	latency  [repCount]histogram
+
+	attempts    atomic.Int64 // proxied shard requests, including retries/hedges
+	retries     atomic.Int64 // failure-triggered re-dispatches
+	retryDenied atomic.Int64 // retries the budget refused
+	hedges      atomic.Int64 // latency-triggered duplicate dispatches
+	hedgeWins   atomic.Int64 // responses won by a hedge/retry attempt
+	partials    atomic.Int64 // degraded responses (206, partial:true)
+	noReplica   atomic.Int64 // shard fan-outs that found no routable replica
+
+	start time.Time
+}
+
+func newRouterMetrics() *routerMetrics { return &routerMetrics{start: time.Now()} }
+
+func (m *routerMetrics) observe(ep int, d time.Duration, status int) {
+	if ep < 0 || ep >= repCount {
+		ep = repOther
+	}
+	m.requests[ep].Add(1)
+	if status >= 400 {
+		m.errors[ep].Add(1)
+	}
+	m.latency[ep].observe(d)
+}
+
+// routerMetricsJSON is the router /metrics document (the cluster-level
+// counterpart of negmined's /metrics).
+type routerMetricsJSON struct {
+	UptimeSeconds float64                 `json:"uptimeSeconds"`
+	Endpoints     map[string]endpointJSON `json:"endpoints"`
+	Fanout        struct {
+		Attempts    int64 `json:"attempts"`
+		Retries     int64 `json:"retries"`
+		RetryDenied int64 `json:"retryDenied"`
+		Hedges      int64 `json:"hedges"`
+		HedgeWins   int64 `json:"hedgeWins"`
+		Partials    int64 `json:"partialResponses"`
+		NoReplica   int64 `json:"noReplicaShardMisses"`
+	} `json:"fanout"`
+	Cluster Status `json:"cluster"`
+}
+
+type endpointJSON struct {
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	Latency  histogramJSON `json:"latency"`
+}
+
+func (m *routerMetrics) export(pool *Pool) routerMetricsJSON {
+	var doc routerMetricsJSON
+	doc.UptimeSeconds = time.Since(m.start).Seconds()
+	doc.Endpoints = map[string]endpointJSON{}
+	for ep := 0; ep < repCount; ep++ {
+		if m.requests[ep].Load() == 0 {
+			continue
+		}
+		doc.Endpoints[repNames[ep]] = endpointJSON{
+			Requests: m.requests[ep].Load(),
+			Errors:   m.errors[ep].Load(),
+			Latency:  m.latency[ep].export(),
+		}
+	}
+	doc.Fanout.Attempts = m.attempts.Load()
+	doc.Fanout.Retries = m.retries.Load()
+	doc.Fanout.RetryDenied = m.retryDenied.Load()
+	doc.Fanout.Hedges = m.hedges.Load()
+	doc.Fanout.HedgeWins = m.hedgeWins.Load()
+	doc.Fanout.Partials = m.partials.Load()
+	doc.Fanout.NoReplica = m.noReplica.Load()
+	doc.Cluster = pool.Status()
+	return doc
+}

@@ -1,0 +1,614 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"negmine/internal/fault"
+)
+
+// errNoReplica marks a shard fan-out that found no routable replica: the
+// shard is omitted from the response (partial), never turned into a 5xx.
+var errNoReplica = errors.New("cluster: no routable replica")
+
+// maxShardBody bounds one proxied shard response.
+const maxShardBody = 64 << 20
+
+// maxAttempts bounds attempts (first try + retries + hedges) per shard per
+// request; it also sizes the result channel so abandoned attempts can
+// always deliver without leaking a goroutine.
+const maxAttempts = 16
+
+// RouterConfig tunes the router. Shards is required; every other field's
+// zero value falls back to the default documented on it.
+type RouterConfig struct {
+	// Shards is the cluster width.
+	Shards int
+	// ShardTimeout bounds one shard's whole fan-out (first attempt, retries
+	// and hedges together; default 2s).
+	ShardTimeout time.Duration
+	// RetryBudget is the retry allowance as a fraction of request volume
+	// (default 0.1 = one retry per ten requests, burst 3). Negative
+	// disables retries entirely.
+	RetryBudget float64
+	// RetryBurst is the retry token cap (default 3).
+	RetryBurst float64
+	// HedgeAfter launches a duplicate request on a second replica when the
+	// first has not answered within this delay — the tail-latency hedge.
+	// Zero (the default) disables hedging.
+	HedgeAfter time.Duration
+	// Pool tunes the health-checked replica pool; Pool.Shards defaults to
+	// Shards.
+	Pool PoolConfig
+	// Client performs proxied shard requests (default: a dedicated client
+	// with per-attempt dial timeouts; never http.DefaultClient).
+	Client *http.Client
+	// Logf receives router logs (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 2 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 0.1
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 3
+	}
+	if c.Pool.Shards == 0 {
+		c.Pool.Shards = c.Shards
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Pool.Logf == nil {
+		c.Pool.Logf = c.Logf
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 1 * time.Second}).DialContext,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// retryBudget is a token bucket bounding failure-triggered retries to a
+// fraction of request volume, so a dying shard cannot double the fleet's
+// load (every request earns ratio tokens, every retry spends one).
+type retryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+}
+
+func (b *retryBudget) earn() {
+	if b.ratio <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) take() bool {
+	if b.ratio <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Router fans /score and /rules out across a health-checked shard pool and
+// merges the ranked results. See the package comment for the failure model.
+type Router struct {
+	cfg     RouterConfig
+	pool    *Pool
+	budget  *retryBudget
+	metrics *routerMetrics
+}
+
+// NewRouter builds a router for a cluster of cfg.Shards shards.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("cluster: router needs a positive shard count, got %d", cfg.Shards)
+	}
+	return &Router{
+		cfg:  cfg,
+		pool: NewPool(cfg.Pool),
+		// The bucket starts full so a failure in a quiet period can still
+		// retry; sustained failure drains it down to the earn ratio.
+		budget:  &retryBudget{ratio: cfg.RetryBudget, burst: cfg.RetryBurst, tokens: cfg.RetryBurst},
+		metrics: newRouterMetrics(),
+	}, nil
+}
+
+// Pool exposes the router's replica pool (heartbeat intake, status, tests).
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// Run drives the pool's sweep/probe loop until ctx is cancelled.
+func (rt *Router) Run(ctx context.Context) { rt.pool.Run(ctx) }
+
+// httpProbe is the default health probe: GET /healthz, any 2xx is alive.
+var probeClient = &http.Client{Transport: &http.Transport{
+	DialContext: (&net.Dialer{Timeout: 1 * time.Second}).DialContext,
+}}
+
+func (p *Pool) httpProbe(ctx context.Context, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := probeClient.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("cluster: probe %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// Handler returns the router's HTTP handler:
+//
+//	POST /score              fan out by basket-item shard, merge ranked matches
+//	GET  /rules?item=NAME    fan out to every shard, merge ranked rules
+//	GET  /healthz            router liveness + routable-shard summary
+//	GET  /metrics            fan-out counters, latency, full cluster status
+//	POST /cluster/heartbeat  node registration + liveness (negmined -cluster-join)
+//	GET  /cluster/status     the pool's full shard/replica table
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/score", rt.instrument(repScore, http.HandlerFunc(rt.handleScore)))
+	mux.Handle("/rules", rt.instrument(repRules, http.HandlerFunc(rt.handleRules)))
+	mux.Handle("/healthz", rt.instrument(repOther, http.HandlerFunc(rt.handleHealthz)))
+	mux.Handle("/metrics", rt.instrument(repOther, http.HandlerFunc(rt.handleMetrics)))
+	mux.Handle("/cluster/heartbeat", rt.instrument(repHeartbeat, http.HandlerFunc(rt.handleHeartbeat)))
+	mux.Handle("/cluster/status", rt.instrument(repStatus, http.HandlerFunc(rt.handleStatus)))
+	mux.Handle("/", rt.instrument(repOther, http.NotFoundHandler()))
+	return mux
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with metrics and panic recovery: a panicking
+// handler produces a 500 and never takes the router down.
+func (rt *Router) instrument(ep int, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				rt.cfg.Logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			rt.metrics.observe(ep, time.Since(start), sw.status)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// writeJSON mirrors internal/serve's encoder settings exactly — the merged
+// documents must be byte-identical to a single daemon's.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// shardResult is one attempt chain's outcome for one shard.
+type shardResult struct {
+	status  int
+	body    []byte
+	node    string
+	attempt int // 0 = first attempt, >0 = retry or hedge
+	err     error
+}
+
+// doAttempt performs one proxied request against one replica.
+func (rt *Router) doAttempt(ctx context.Context, node, addr string, attempt int,
+	mkReq func(ctx context.Context, addr string) (*http.Request, error)) shardResult {
+	res := shardResult{node: node, attempt: attempt}
+	if res.err = fault.Hit(PointDial); res.err != nil {
+		return res
+	}
+	req, err := mkReq(ctx, addr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody+1))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if len(body) > maxShardBody {
+		res.err = fmt.Errorf("cluster: shard %s response exceeds %d bytes", node, maxShardBody)
+		return res
+	}
+	if resp.StatusCode >= 500 {
+		// A shard 5xx is a replica failure: retryable, breaker-countable.
+		res.err = fmt.Errorf("cluster: shard replica %s: HTTP %d", node, resp.StatusCode)
+		return res
+	}
+	res.status = resp.StatusCode
+	res.body = body
+	return res
+}
+
+// callShard runs one shard's attempt chain: pick the best replica, enforce
+// the shard timeout, hedge slow attempts onto a sibling replica, retry
+// failures within the retry budget, and report every outcome to the health
+// state machine. The first success wins; abandoned attempts drain into the
+// buffered channel.
+func (rt *Router) callShard(ctx context.Context, shard int,
+	mkReq func(ctx context.Context, addr string) (*http.Request, error)) shardResult {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	defer cancel()
+	rt.budget.earn()
+
+	tried := map[string]bool{}
+	results := make(chan shardResult, maxAttempts)
+	inflight, attempts := 0, 0
+	launch := func() bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		node, addr := rt.pool.Pick(shard, tried)
+		if node == "" {
+			return false
+		}
+		tried[node] = true
+		a := attempts
+		attempts++
+		inflight++
+		rt.metrics.attempts.Add(1)
+		go func() { results <- rt.doAttempt(ctx, node, addr, a, mkReq) }()
+		return true
+	}
+	if !launch() {
+		rt.metrics.noReplica.Add(1)
+		return shardResult{err: errNoReplica}
+	}
+	var hedge <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(rt.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var last shardResult
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				rt.pool.ReportSuccess(res.node)
+				if res.attempt > 0 {
+					rt.metrics.hedgeWins.Add(1)
+				}
+				return res
+			}
+			rt.pool.ReportFailure(res.node)
+			last = res
+			if !errors.Is(res.err, context.Canceled) && ctx.Err() == nil {
+				if rt.budget.take() {
+					if launch() {
+						rt.metrics.retries.Add(1)
+						continue
+					}
+				} else {
+					rt.metrics.retryDenied.Add(1)
+				}
+			}
+			if inflight == 0 {
+				return last
+			}
+		case <-hedge:
+			hedge = nil
+			if launch() {
+				rt.metrics.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			if last.err == nil {
+				last.err = ctx.Err()
+			}
+			return last
+		}
+	}
+}
+
+// fanOut runs callShard for every listed shard concurrently and returns the
+// outcomes in shard order.
+func (rt *Router) fanOut(ctx context.Context, shards []int,
+	mkReq func(ctx context.Context, addr string) (*http.Request, error)) []shardResult {
+	out := make([]shardResult, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			out[i] = rt.callShard(ctx, shard, mkReq)
+		}(i, shard)
+	}
+	wg.Wait()
+	return out
+}
+
+// scoreReq mirrors serve's /score request body.
+type scoreReq struct {
+	Basket []string `json:"basket"`
+	MinRI  *float64 `json:"minRI,omitempty"`
+	Limit  int      `json:"limit,omitempty"`
+}
+
+func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, `use POST /score with {"basket": [...]}`)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req scoreReq
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Basket) == 0 {
+		writeError(w, http.StatusBadRequest, "basket must contain at least one item")
+		return
+	}
+	minRI := 0.0
+	if req.MinRI != nil {
+		minRI = *req.MinRI
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "re-encoding request: %v", err)
+		return
+	}
+	shards := ShardsForBasket(req.Basket, rt.pool.Shards())
+	results := rt.fanOut(r.Context(), shards, func(ctx context.Context, addr string) (*http.Request, error) {
+		sr, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/score", bytes.NewReader(body))
+		if err == nil {
+			sr.Header.Set("Content-Type", "application/json")
+		}
+		return sr, err
+	})
+
+	if err := fault.Hit(PointMerge); err != nil {
+		writeError(w, http.StatusInternalServerError, "merge: %v", err)
+		return
+	}
+	lists := make([][]WireMatch, 0, len(results))
+	var missing []int
+	for i, res := range results {
+		switch {
+		case res.err != nil:
+			missing = append(missing, shards[i])
+		case res.status != http.StatusOK:
+			// A non-5xx error from a shard (4xx) would be the router's own
+			// request reflected back; relay the first one verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			_, _ = w.Write(res.body)
+			return
+		default:
+			var doc ScoreDoc
+			if err := json.Unmarshal(res.body, &doc); err != nil {
+				missing = append(missing, shards[i])
+				rt.cfg.Logf("shard %d replica %s: bad /score body: %v", shards[i], res.node, err)
+				continue
+			}
+			lists = append(lists, doc.Matches)
+		}
+	}
+	out := ScoreDoc{
+		Basket:        req.Basket,
+		MinRI:         minRI,
+		Matches:       MergeMatches(lists, req.Limit),
+		Partial:       len(missing) > 0,
+		MissingShards: missing,
+	}
+	status := http.StatusOK
+	if out.Partial {
+		status = http.StatusPartialContent
+		rt.metrics.partials.Add(1)
+	}
+	writeJSON(w, status, out)
+}
+
+func (rt *Router) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET /rules?item=NAME")
+		return
+	}
+	q := r.URL.Query()
+	item := q.Get("item")
+	if item == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter: item")
+		return
+	}
+	minRI := 0.0
+	if v := q.Get("minri"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad minri %q: %v", v, err)
+			return
+		}
+		minRI = f
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	// Rules can mention the item on either side, so every shard may hold a
+	// match: fan out to all of them with the original query.
+	shards := make([]int, rt.pool.Shards())
+	for i := range shards {
+		shards[i] = i
+	}
+	rawQuery := r.URL.RawQuery
+	results := rt.fanOut(r.Context(), shards, func(ctx context.Context, addr string) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/rules?"+rawQuery, nil)
+	})
+
+	if err := fault.Hit(PointMerge); err != nil {
+		writeError(w, http.StatusInternalServerError, "merge: %v", err)
+		return
+	}
+	lists := make([][]WireRule, 0, len(results))
+	var expanded []string
+	var missing []int
+	for i, res := range results {
+		switch {
+		case res.err != nil:
+			missing = append(missing, shards[i])
+		case res.status != http.StatusOK:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			_, _ = w.Write(res.body)
+			return
+		default:
+			var doc RulesDoc
+			if err := json.Unmarshal(res.body, &doc); err != nil {
+				missing = append(missing, shards[i])
+				rt.cfg.Logf("shard %d replica %s: bad /rules body: %v", shards[i], res.node, err)
+				continue
+			}
+			// Every shard serves the same taxonomy, so the expansion is
+			// identical everywhere; keep the first (lowest-shard) answer.
+			if expanded == nil {
+				expanded = doc.Expanded
+			}
+			lists = append(lists, doc.Rules)
+		}
+	}
+	if expanded == nil {
+		// Every shard is missing: the honest degraded expansion is the item
+		// itself (the partial flag below tells the client why).
+		expanded = []string{item}
+	}
+	out := RulesDoc{
+		Item:          item,
+		Expanded:      expanded,
+		MinRI:         minRI,
+		Rules:         MergeRules(lists, limit),
+		Partial:       len(missing) > 0,
+		MissingShards: missing,
+	}
+	status := http.StatusOK
+	if out.Partial {
+		status = http.StatusPartialContent
+		rt.metrics.partials.Add(1)
+	}
+	writeJSON(w, status, out)
+}
+
+// routerHealth is the router /healthz payload.
+type routerHealth struct {
+	Status     string `json:"status"` // ok | degraded
+	Shards     int    `json:"shards"`
+	Routable   int    `json:"routableShards"`
+	Registered int    `json:"registeredReplicas"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.pool.Status()
+	doc := routerHealth{Status: "ok", Shards: st.Shards, Routable: st.Routable, Registered: st.Registered}
+	if st.Routable < st.Shards {
+		doc.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.metrics.export(rt.pool))
+}
+
+func (rt *Router) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST /cluster/heartbeat")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var hb Heartbeat
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hb); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if err := rt.pool.Heartbeat(hb); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.pool.Status())
+}

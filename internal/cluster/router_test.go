@@ -1,0 +1,462 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"negmine/internal/fault"
+)
+
+// pickItems returns one item name per shard id (names whose ShardOfItem is
+// exactly that shard), so tests can aim baskets at specific shards.
+func pickItems(t *testing.T, shards int) []string {
+	t.Helper()
+	out := make([]string, shards)
+	found := 0
+	for i := 0; found < shards && i < 10000; i++ {
+		name := fmt.Sprintf("item-%d", i)
+		s := ShardOfItem(name, shards)
+		if out[s] == "" {
+			out[s] = name
+			found++
+		}
+	}
+	if found != shards {
+		t.Fatalf("could not find one item per shard")
+	}
+	return out
+}
+
+// shardBackend is a fake negmined shard serving canned /score and /rules
+// documents.
+type shardBackend struct {
+	t       *testing.T
+	srv     *httptest.Server
+	matches []WireMatch
+	rules   []WireRule
+	fail    atomic.Bool  // every request answers 500
+	delay   atomic.Int64 // nanoseconds to stall before answering
+	hits    atomic.Int64
+}
+
+func newShardBackend(t *testing.T) *shardBackend {
+	b := &shardBackend{t: t}
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		if d := b.delay.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if b.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		switch r.URL.Path {
+		case "/score":
+			var req scoreReq
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			minRI := 0.0
+			if req.MinRI != nil {
+				minRI = *req.MinRI
+			}
+			m := b.matches
+			if m == nil {
+				m = []WireMatch{}
+			}
+			writeJSON(w, http.StatusOK, ScoreDoc{Basket: req.Basket, MinRI: minRI, Matches: m})
+		case "/rules":
+			rs := b.rules
+			if rs == nil {
+				rs = []WireRule{}
+			}
+			q := r.URL.Query()
+			writeJSON(w, http.StatusOK, RulesDoc{
+				Item:     q.Get("item"),
+				Expanded: []string{q.Get("item")},
+				Rules:    rs,
+			})
+		case "/healthz":
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func (b *shardBackend) addr() string { return strings.TrimPrefix(b.srv.URL, "http://") }
+
+// testRouter builds a router with the given backends registered, one per
+// shard slot (nil slots stay unregistered).
+func testRouter(t *testing.T, cfg RouterConfig, backends ...[]*shardBackend) *Router {
+	t.Helper()
+	if cfg.Shards == 0 {
+		cfg.Shards = len(backends)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard, reps := range backends {
+		for i, b := range reps {
+			hb := Heartbeat{
+				Node:   fmt.Sprintf("s%d-r%d", shard, i),
+				Addr:   b.addr(),
+				Shard:  shard,
+				Shards: cfg.Shards,
+			}
+			if err := rt.Pool().Heartbeat(hb); err != nil {
+				t.Fatalf("register shard %d replica %d: %v", shard, i, err)
+			}
+		}
+	}
+	return rt
+}
+
+func match(ri float64, ante, cons string) WireMatch {
+	return WireMatch{
+		WireRule: WireRule{Antecedent: []string{ante}, Consequent: []string{cons}, RuleInterest: ri},
+		Triggers: map[string]string{ante: ante},
+	}
+}
+
+func postScore(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, ScoreDoc) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/score", bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var doc ScoreDoc
+	if rec.Code == http.StatusOK || rec.Code == http.StatusPartialContent {
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("bad score body: %v\n%s", err, rec.Body.Bytes())
+		}
+	}
+	return rec, doc
+}
+
+func TestRouterScoreMergesAcrossShards(t *testing.T) {
+	items := pickItems(t, 2)
+	b0, b1 := newShardBackend(t), newShardBackend(t)
+	b0.matches = []WireMatch{match(0.9, items[0], "x"), match(0.3, items[0], "y")}
+	b1.matches = []WireMatch{match(0.5, items[1], "z")}
+	rt := testRouter(t, RouterConfig{Logf: t.Logf}, []*shardBackend{b0}, []*shardBackend{b1})
+	h := rt.Handler()
+
+	body := fmt.Sprintf(`{"basket": [%q, %q]}`, items[0], items[1])
+	rec, doc := postScore(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d\n%s", rec.Code, rec.Body.Bytes())
+	}
+	if doc.Partial || len(doc.MissingShards) != 0 {
+		t.Fatalf("healthy merge marked partial: %+v", doc)
+	}
+	if len(doc.Matches) != 3 {
+		t.Fatalf("merged %d matches, want 3", len(doc.Matches))
+	}
+	// Interleaved by RI: 0.9 (shard 0), 0.5 (shard 1), 0.3 (shard 0).
+	ris := []float64{doc.Matches[0].RuleInterest, doc.Matches[1].RuleInterest, doc.Matches[2].RuleInterest}
+	if ris[0] != 0.9 || ris[1] != 0.5 || ris[2] != 0.3 {
+		t.Fatalf("merge order = %v", ris)
+	}
+	// A single-shard basket only fans out to its own shard.
+	b0.hits.Store(0)
+	b1.hits.Store(0)
+	rec, _ = postScore(t, h, fmt.Sprintf(`{"basket": [%q]}`, items[0]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if b1.hits.Load() != 0 {
+		t.Fatal("single-shard basket touched the other shard")
+	}
+}
+
+func TestRouterScorePartialOnDeadShard(t *testing.T) {
+	items := pickItems(t, 2)
+	b0 := newShardBackend(t)
+	b0.matches = []WireMatch{match(0.9, items[0], "x")}
+	// Shard 1 has no registered replica at all.
+	rt := testRouter(t, RouterConfig{Shards: 2, Logf: t.Logf}, []*shardBackend{b0})
+	h := rt.Handler()
+
+	body := fmt.Sprintf(`{"basket": [%q, %q]}`, items[0], items[1])
+	rec, doc := postScore(t, h, body)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("status = %d, want 206\n%s", rec.Code, rec.Body.Bytes())
+	}
+	if !doc.Partial || len(doc.MissingShards) != 1 || doc.MissingShards[0] != 1 {
+		t.Fatalf("partial doc = %+v", doc)
+	}
+	if len(doc.Matches) != 1 || doc.Matches[0].RuleInterest != 0.9 {
+		t.Fatalf("surviving shard's matches missing: %+v", doc.Matches)
+	}
+}
+
+func TestRouterRetriesAgainstSiblingReplica(t *testing.T) {
+	items := pickItems(t, 1)
+	bad, good := newShardBackend(t), newShardBackend(t)
+	bad.fail.Store(true)
+	good.matches = []WireMatch{match(0.7, items[0], "x")}
+	rt := testRouter(t, RouterConfig{Logf: t.Logf}, []*shardBackend{bad, good})
+	h := rt.Handler()
+
+	// Whichever replica is tried first, a 500 must be retried on the sibling
+	// within the retry budget, yielding a full (not partial) answer.
+	for i := 0; i < 2; i++ {
+		rec, doc := postScore(t, h, fmt.Sprintf(`{"basket": [%q]}`, items[0]))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d\n%s", rec.Code, rec.Body.Bytes())
+		}
+		if doc.Partial || len(doc.Matches) != 1 {
+			t.Fatalf("doc = %+v", doc)
+		}
+	}
+	if bad.hits.Load() == 0 {
+		t.Fatal("failing replica was never tried — retry path not exercised")
+	}
+	m := rt.metrics
+	if m.retries.Load() == 0 {
+		t.Fatalf("retries = 0, attempts = %d", m.attempts.Load())
+	}
+	// The failure was reported: the bad replica is now suspect.
+	if got := replicaState(t, rt.Pool(), "s0-r0"); got == "healthy" {
+		t.Fatal("failing replica still marked healthy")
+	}
+}
+
+func TestRouterHedgesSlowReplica(t *testing.T) {
+	items := pickItems(t, 1)
+	slow, fast := newShardBackend(t), newShardBackend(t)
+	slow.delay.Store(int64(2 * time.Second))
+	want := []WireMatch{match(0.7, items[0], "x")}
+	slow.matches = want
+	fast.matches = want
+	rt := testRouter(t, RouterConfig{
+		HedgeAfter:   20 * time.Millisecond,
+		ShardTimeout: 5 * time.Second,
+		Logf:         t.Logf,
+	}, []*shardBackend{slow, fast})
+	h := rt.Handler()
+
+	start := time.Now()
+	rec, doc := postScore(t, h, fmt.Sprintf(`{"basket": [%q]}`, items[0]))
+	if rec.Code != http.StatusOK || doc.Partial {
+		t.Fatalf("status = %d, doc = %+v", rec.Code, doc)
+	}
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Fatalf("hedge did not rescue the request: took %v", d)
+	}
+	// Run once more in case the fast replica was picked first the first time.
+	rec, _ = postScore(t, h, fmt.Sprintf(`{"basket": [%q]}`, items[0]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rt.metrics.hedges.Load() == 0 {
+		t.Fatal("no hedge was dispatched")
+	}
+}
+
+func TestRouterDialFailpointDegradesNever500(t *testing.T) {
+	items := pickItems(t, 2)
+	b0, b1 := newShardBackend(t), newShardBackend(t)
+	rt := testRouter(t, RouterConfig{Logf: t.Logf}, []*shardBackend{b0}, []*shardBackend{b1})
+	h := rt.Handler()
+
+	defer fault.Enable(PointDial, fault.Error("replica unreachable"))()
+	body := fmt.Sprintf(`{"basket": [%q, %q]}`, items[0], items[1])
+	rec, doc := postScore(t, h, body)
+	if rec.Code >= 500 {
+		t.Fatalf("injected dial failure surfaced as %d — must degrade, not fail", rec.Code)
+	}
+	if rec.Code != http.StatusPartialContent || !doc.Partial {
+		t.Fatalf("status = %d, doc = %+v, want 206 partial", rec.Code, doc)
+	}
+	if len(doc.MissingShards) != 2 {
+		t.Fatalf("missingShards = %v, want both", doc.MissingShards)
+	}
+	if len(doc.Matches) != 0 {
+		t.Fatalf("matches = %v, want none", doc.Matches)
+	}
+}
+
+func TestRouterMergeFailpointIs500(t *testing.T) {
+	items := pickItems(t, 1)
+	b0 := newShardBackend(t)
+	rt := testRouter(t, RouterConfig{Logf: t.Logf}, []*shardBackend{b0})
+	h := rt.Handler()
+
+	defer fault.Enable(PointMerge, fault.Error("merge bug"))()
+	rec, _ := postScore(t, h, fmt.Sprintf(`{"basket": [%q]}`, items[0]))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (merge is the router's own fault)", rec.Code)
+	}
+}
+
+func TestRouterRulesFansToAllShards(t *testing.T) {
+	b0, b1 := newShardBackend(t), newShardBackend(t)
+	b0.rules = []WireRule{{Antecedent: []string{"a"}, Consequent: []string{"q"}, RuleInterest: 0.2}}
+	b1.rules = []WireRule{{Antecedent: []string{"b"}, Consequent: []string{"q"}, RuleInterest: 0.8}}
+	rt := testRouter(t, RouterConfig{Logf: t.Logf}, []*shardBackend{b0}, []*shardBackend{b1})
+	h := rt.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/rules?item=q&minri=0.1", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d\n%s", rec.Code, rec.Body.Bytes())
+	}
+	var doc RulesDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Item != "q" || doc.MinRI != 0.1 || doc.Partial {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Rules) != 2 || doc.Rules[0].RuleInterest != 0.8 || doc.Rules[1].RuleInterest != 0.2 {
+		t.Fatalf("rules = %+v", doc.Rules)
+	}
+	if b0.hits.Load() == 0 || b1.hits.Load() == 0 {
+		t.Fatal("/rules did not fan out to every shard")
+	}
+
+	// Missing item parameter is the router's own 400, no fan-out.
+	b0.hits.Store(0)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/rules", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if b0.hits.Load() != 0 {
+		t.Fatal("invalid request reached a shard")
+	}
+}
+
+func TestRouterHeartbeatAndStatusEndpoints(t *testing.T) {
+	rt := testRouter(t, RouterConfig{Shards: 2, Logf: t.Logf})
+	h := rt.Handler()
+
+	hb := `{"node": "n0", "addr": "127.0.0.1:9", "shard": 1, "shards": 2, "generation": 4, "rules": 11}`
+	req := httptest.NewRequest(http.MethodPost, "/cluster/heartbeat", bytes.NewReader([]byte(hb)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("heartbeat status = %d\n%s", rec.Code, rec.Body.Bytes())
+	}
+
+	// Mismatched width is rejected.
+	bad := `{"node": "n1", "addr": "127.0.0.1:9", "shard": 0, "shards": 3}`
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cluster/heartbeat", bytes.NewReader([]byte(bad))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad heartbeat status = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cluster/status", nil))
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 2 || st.Registered != 1 || st.Routable != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Table[1].Replicas[0].Generation != 4 || st.Table[1].Replicas[0].Rules != 11 {
+		t.Fatalf("replica row = %+v", st.Table[1].Replicas[0])
+	}
+
+	// /healthz reports degraded while a shard has no replica.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health routerHealth
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Routable != 1 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// /metrics exports fan-out counters and the cluster table.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var metrics routerMetricsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Cluster.Registered != 1 {
+		t.Fatalf("metrics cluster block = %+v", metrics.Cluster)
+	}
+}
+
+func TestRouterRejectsBadScoreRequests(t *testing.T) {
+	b0 := newShardBackend(t)
+	rt := testRouter(t, RouterConfig{Logf: t.Logf}, []*shardBackend{b0})
+	h := rt.Handler()
+
+	for _, body := range []string{``, `{}`, `{"basket": []}`, `{"basket": ["a"], "bogus": 1}`} {
+		rec, _ := postScore(t, h, body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/score", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /score = %d, want 405", rec.Code)
+	}
+	if b0.hits.Load() != 0 {
+		t.Fatal("invalid requests reached the shard")
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Fatal("zero-shard router accepted")
+	}
+	if _, err := NewRouter(RouterConfig{Shards: -1}); err == nil {
+		t.Fatal("negative-shard router accepted")
+	}
+}
+
+func TestRetryBudgetBounds(t *testing.T) {
+	b := &retryBudget{ratio: 0.5, burst: 2, tokens: 2}
+	if !b.take() || !b.take() {
+		t.Fatal("full bucket refused takes")
+	}
+	if b.take() {
+		t.Fatal("empty bucket granted a take")
+	}
+	b.earn()
+	b.earn() // 1.0 token
+	if !b.take() {
+		t.Fatal("earned token refused")
+	}
+	for i := 0; i < 100; i++ {
+		b.earn()
+	}
+	if b.tokens > b.burst {
+		t.Fatalf("tokens %v exceeded burst %v", b.tokens, b.burst)
+	}
+	disabled := &retryBudget{ratio: -1}
+	disabled.earn()
+	if disabled.take() {
+		t.Fatal("disabled budget granted a retry")
+	}
+	if errors.Is(errNoReplica, fault.ErrInjected) {
+		t.Fatal("sentinel confusion")
+	}
+}

@@ -70,6 +70,7 @@ type scoreResponse struct {
 // healthResponse is the /healthz payload.
 type healthResponse struct {
 	Status     string       `json:"status"`
+	Node       string       `json:"node,omitempty"` // cluster node identity (WithNodeID)
 	Snapshot   SnapshotInfo `json:"snapshot"`
 	AgeSeconds float64      `json:"snapshotAgeSeconds"`
 }
@@ -160,6 +161,9 @@ func (s *Server) instrument(ep int, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if s.nodeID != "" {
+			sw.Header().Set("X-Negmine-Node", s.nodeID)
+		}
 		if s.reqTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
 			defer cancel()
@@ -339,6 +343,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:     "ok",
+		Node:       s.nodeID,
 		Snapshot:   snap.Info(),
 		AgeSeconds: snap.Age().Seconds(),
 	})

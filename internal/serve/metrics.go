@@ -145,6 +145,10 @@ type Metrics struct {
 	// ingest block. Set once at server construction, like governStats.
 	ingestStats func() IngestStats
 
+	// node is the cluster node identity (serve.WithNodeID), set once at
+	// server construction, before any handler runs.
+	node string
+
 	start time.Time
 }
 
@@ -218,6 +222,7 @@ type endpointJSON struct {
 // metricsJSON is the full /metrics document.
 type metricsJSON struct {
 	UptimeSeconds float64                 `json:"uptimeSeconds"`
+	Node          string                  `json:"node,omitempty"` // cluster node identity
 	Panics        int64                   `json:"panics"`
 	Endpoints     map[string]endpointJSON `json:"endpoints"`
 	Reloads       struct {
@@ -230,6 +235,11 @@ type metricsJSON struct {
 	Snapshot struct {
 		SnapshotInfo
 		AgeSeconds float64 `json:"ageSeconds"`
+		// AgeSecondsGauge repeats AgeSeconds under the stable snake_case
+		// name scrapers alert on: a growing value means reloads (or the
+		// replica's snapshot store) have stalled and the node serves stale
+		// rules.
+		AgeSecondsGauge float64 `json:"age_seconds"`
 		// Layout describes the arena + posting-list memory layout; Cache is
 		// the hot-item result cache (absent when caching is disabled).
 		Layout *LayoutInfo `json:"layout,omitempty"`
@@ -255,6 +265,7 @@ type governJSON struct {
 func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 	var doc metricsJSON
 	doc.UptimeSeconds = time.Since(m.start).Seconds()
+	doc.Node = m.node
 	doc.Endpoints = map[string]endpointJSON{}
 	for ep := 0; ep < epCount; ep++ {
 		if m.requests[ep].Load() == 0 {
@@ -283,6 +294,7 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 	if snap != nil {
 		doc.Snapshot.SnapshotInfo = snap.Info()
 		doc.Snapshot.AgeSeconds = snap.Age().Seconds()
+		doc.Snapshot.AgeSecondsGauge = doc.Snapshot.AgeSeconds
 		layout := snap.Layout()
 		doc.Snapshot.Layout = &layout
 		doc.Snapshot.Cache = snap.CacheStats()

@@ -49,6 +49,7 @@ type Server struct {
 	gov        *govern.Controller // admission control (nil = admit everything)
 	maxBody    int64              // POST body bound in bytes (0 = default, <0 = none)
 	ingest     IngestSink         // POST /ingest backend (nil = endpoint disabled)
+	nodeID     string             // cluster node identity ("" = unnamed)
 
 	reloadMu  sync.Mutex  // serializes loads; readers never touch it
 	reloading atomic.Bool // a reload is in flight (coalesces triggers)
@@ -84,6 +85,14 @@ func WithGovernor(c *govern.Controller) Option {
 	return func(s *Server) { s.gov = c }
 }
 
+// WithNodeID names this daemon for cluster operation: the id is echoed as
+// the X-Negmine-Node header on every response and in the /healthz and
+// /metrics documents, so a client of a routed fleet can always tell which
+// node answered. Empty (the default) leaves responses unmarked.
+func WithNodeID(id string) Option {
+	return func(s *Server) { s.nodeID = id }
+}
+
 // DefaultMaxBodyBytes bounds POST request bodies when WithMaxBodyBytes is
 // not used.
 const DefaultMaxBodyBytes int64 = 1 << 20
@@ -112,6 +121,7 @@ func NewServer(ctx context.Context, load LoadFunc, opts ...Option) (*Server, err
 	if s.gov != nil {
 		s.metrics.governStats = s.gov.Stats
 	}
+	s.metrics.node = s.nodeID
 	if s.ingest != nil {
 		s.metrics.ingestStats = s.ingest.Stats
 	}
@@ -150,6 +160,9 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Metrics exposes the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// NodeID returns the cluster node identity ("" when unnamed).
+func (s *Server) NodeID() string { return s.nodeID }
 
 // Governor exposes the installed admission controller (nil without one).
 func (s *Server) Governor() *govern.Controller { return s.gov }

@@ -32,6 +32,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
 	"sort"
 	"sync"
@@ -115,6 +116,7 @@ type Snapshot struct {
 
 	generation uint64 // artifact-store generation (0 when not from/in a store)
 	sourceKind string // "mined", "json", "ingest" or "mmap"
+	shard      string // cluster shard label "k/n" ("" when unsharded)
 }
 
 // pdesc mirrors snapfmt.PostingDesc (same field meaning and kind values)
@@ -156,6 +158,7 @@ type SnapshotInfo struct {
 	Source       string    `json:"source,omitempty"`
 	SourceKind   string    `json:"sourceKind,omitempty"` // mined | json | ingest | mmap
 	Generation   uint64    `json:"generation,omitempty"` // artifact-store generation
+	Shard        string    `json:"shard,omitempty"`      // cluster shard label "k/n"
 	MinSupport   float64   `json:"minSupport,omitempty"`
 	MinRI        float64   `json:"minRI,omitempty"`
 }
@@ -188,6 +191,13 @@ type Meta struct {
 	// CacheSize bounds the hot-item result cache in entries: 0 selects
 	// DefaultCacheSize, negative disables caching entirely.
 	CacheSize int
+	// Keep filters rules into the snapshot: a rule is indexed only when
+	// Keep(antecedent, consequent) returns true; nil keeps everything.
+	// Cluster sharding passes the shard-ownership predicate here so each
+	// shard's snapshot holds exactly its partition of the rule set, while
+	// the taxonomy is still interned in full (expansion answers stay
+	// identical on every shard).
+	Keep func(antecedent, consequent []string) bool
 }
 
 // DefaultCacheSize is the hot-item result cache bound used when
@@ -201,7 +211,9 @@ func BuildSnapshot(st *rulestore.Store, tax *taxonomy.Taxonomy, meta Meta) *Snap
 	start := time.Now()
 	entries := make([]rulestore.Entry, 0, st.Len())
 	st.Each(func(e rulestore.Entry) bool {
-		entries = append(entries, e)
+		if meta.Keep == nil || meta.Keep(e.Antecedent, e.Consequent) {
+			entries = append(entries, e)
+		}
 		return true
 	})
 	// Each yields signature order; re-sort by descending RI so that id order
@@ -527,6 +539,7 @@ func (s *Snapshot) Info() SnapshotInfo {
 		Source:       s.source,
 		SourceKind:   s.sourceKind,
 		Generation:   s.generation,
+		Shard:        s.shard,
 		MinSupport:   s.minSup,
 		MinRI:        s.minRI,
 	}
@@ -539,6 +552,14 @@ func (s *Snapshot) Info() SnapshotInfo {
 func (s *Snapshot) SetProvenance(gen uint64, kind string) {
 	s.generation = gen
 	s.sourceKind = kind
+}
+
+// SetShard stamps the snapshot with its cluster shard label ("shard/width").
+// Like SetProvenance it must be called before the snapshot is published to
+// concurrent readers; the label is in-memory only (an .nsnap file re-loaded
+// elsewhere is re-stamped by whoever loads it).
+func (s *Snapshot) SetShard(shard, width int) {
+	s.shard = fmt.Sprintf("%d/%d", shard, width)
 }
 
 // Generation returns the snapshot's artifact-store generation (0 when the
