@@ -88,6 +88,10 @@ type clusterMember struct {
 	client *http.Client
 	logf   func(format string, args ...any)
 
+	// roleFn reports the node's ingest role (primary/standby/fenced/replica)
+	// and replication lag for the heartbeat (nil = not reported).
+	roleFn func() (string, int)
+
 	failing bool // last beat failed (logs only on edges, not every tick)
 }
 
@@ -125,6 +129,9 @@ func (m *clusterMember) beat(ctx context.Context, srv *serve.Server) {
 	}
 	if gov := srv.Governor(); gov != nil {
 		hb.Degraded = gov.Stats().Degraded
+	}
+	if m.roleFn != nil {
+		hb.IngestRole, hb.ReplLagSegments = m.roleFn()
 	}
 	err := m.post(ctx, hb)
 	switch {

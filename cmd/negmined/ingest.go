@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,11 @@ type ingestController struct {
 	remineTxns int64                        // pending threshold that triggers a re-mine (0 = off)
 	cacheSize  int                          // hot-item query cache bound (serve.Meta.CacheSize)
 
+	// ha, when non-nil, routes writes through the primary/standby protocol
+	// (fencing token, replication ack) instead of plain appends. Set once in
+	// run(), before the listener accepts traffic.
+	ha *haController
+
 	// keep, when non-nil, is the cluster shard predicate: only rules it
 	// accepts are indexed into refreshed snapshots (serve.Meta.Keep).
 	keep func(ante, cons []string) bool
@@ -41,12 +47,12 @@ type ingestController struct {
 // newIngestController opens (or creates) the segment log, seeds it from
 // dataPath when the log is empty and a seed is given, and returns the
 // controller ready to be wired into a Server.
-func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns, cacheSize int, keep func(ante, cons []string) bool) (*ingestController, error) {
+func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOptions, remineTxns, cacheSize, dedupWindow int, keep func(ante, cons []string) bool) (*ingestController, error) {
 	tax, err := loadTaxonomy(taxPath)
 	if err != nil {
 		return nil, err
 	}
-	log, err := seglog.Open(dir, seglog.Options{})
+	log, err := seglog.Open(dir, seglog.Options{DedupWindow: dedupWindow})
 	if err != nil {
 		return nil, err
 	}
@@ -135,11 +141,12 @@ func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
 }
 
 // Ingest implements serve.IngestSink: name resolution against the read-only
-// dictionary, a durable append, and the transaction-count re-mine trigger.
-func (c *ingestController) Ingest(ctx context.Context, baskets [][]string) (serve.IngestResult, error) {
+// dictionary, a durable (and on HA pairs, replicated) append, and the
+// transaction-count re-mine trigger.
+func (c *ingestController) Ingest(ctx context.Context, batch serve.IngestBatch) (serve.IngestResult, error) {
 	dict := c.tax.Dictionary()
-	sets := make([]item.Itemset, len(baskets))
-	for i, b := range baskets {
+	sets := make([]item.Itemset, len(batch.Baskets))
+	for i, b := range batch.Baskets {
 		items := make([]item.Item, len(b))
 		for j, name := range b {
 			id, ok := dict.Lookup(name)
@@ -150,11 +157,23 @@ func (c *ingestController) Ingest(ctx context.Context, baskets [][]string) (serv
 		}
 		sets[i] = item.New(items...)
 	}
-	first, last, err := c.log.Append(sets)
-	if err != nil {
-		return serve.IngestResult{}, err
+	var (
+		ares seglog.AppendResult
+		err  error
+	)
+	if c.ha != nil {
+		ares, err = c.ha.ingestBatch(ctx, sets, batch.Key, batch.Seq)
+	} else {
+		ares, err = c.log.AppendBatch(seglog.Batch{Baskets: sets, Epoch: -1, Key: batch.Key, Seq: batch.Seq})
 	}
-	res := serve.IngestResult{FirstTID: first, LastTID: last, Accepted: len(sets)}
+	if err != nil {
+		return serve.IngestResult{}, mapSeglogErr(err)
+	}
+	res := serve.IngestResult{FirstTID: ares.First, LastTID: ares.Last, Accepted: len(sets), Duplicate: ares.Duplicate}
+	if ares.Duplicate {
+		// A replayed ack: nothing new was appended, so nothing becomes pending.
+		return res, nil
+	}
 	p := c.pending.Add(int64(len(sets)))
 	if c.remineTxns > 0 && p >= c.remineTxns {
 		if srv := c.srv.Load(); srv != nil {
@@ -165,11 +184,53 @@ func (c *ingestController) Ingest(ctx context.Context, baskets [][]string) (serv
 	return res, nil
 }
 
+// mapSeglogErr translates seglog write-path refusals into the serve layer's
+// sentinel errors so the handler can pick the right status code. Errors that
+// already carry a serve sentinel (the HA controller's) pass through.
+func mapSeglogErr(err error) error {
+	switch {
+	case errors.Is(err, serve.ErrIngestFenced),
+		errors.Is(err, serve.ErrIngestNotPrimary),
+		errors.Is(err, serve.ErrIngestStale),
+		errors.Is(err, serve.ErrIngestUnavailable):
+		return err
+	case errors.Is(err, seglog.ErrFenced):
+		return fmt.Errorf("%w: %v", serve.ErrIngestFenced, err)
+	case errors.Is(err, seglog.ErrStaleSeq):
+		return fmt.Errorf("%w: %v", serve.ErrIngestStale, err)
+	}
+	return err
+}
+
+// noteReplicated accounts transactions that arrived through replication
+// (store adoption or the tail stream) rather than /ingest, so the standby's
+// auto re-mine trigger and pendingTxns gauge track the primary's writes.
+func (c *ingestController) noteReplicated(n int64) {
+	if n <= 0 {
+		return
+	}
+	p := c.pending.Add(n)
+	if c.remineTxns > 0 && p >= c.remineTxns {
+		if srv := c.srv.Load(); srv != nil {
+			srv.TriggerReload(context.Background())
+		}
+	}
+}
+
+// RoleLag reports the node's ingest role and replication lag for heartbeats.
+// A solo streaming daemon is its own primary with nothing to lag behind.
+func (c *ingestController) RoleLag() (string, int) {
+	if c.ha != nil {
+		return c.ha.roleLag()
+	}
+	return haRolePrimary, 0
+}
+
 // Stats implements serve.IngestSink for the /metrics ingest block.
 func (c *ingestController) Stats() serve.IngestStats {
 	ls := c.log.Stats()
 	ms := c.miner.LastStats()
-	return serve.IngestStats{
+	st := serve.IngestStats{
 		Segments:               ls.Segments,
 		SealedTxns:             ls.SealedTxns,
 		SealedBytes:            ls.SealedBytes,
@@ -182,7 +243,13 @@ func (c *ingestController) Stats() serve.IngestStats {
 		LastRefreshSeconds:     ms.Duration.Seconds(),
 		LastRefreshNewSegments: ms.NewSegments,
 		LastRefreshOldScans:    ms.OldSegmentScans,
+		Epoch:                  ls.Epoch,
+		FencedAppends:          ls.FencedAppends,
+		DedupHits:              ls.DedupHits,
+		DedupEntries:           ls.DedupEntries,
 	}
+	st.Role, st.ReplLagSegments = c.RoleLag()
+	return st
 }
 
 // remineLoop triggers a background refresh every interval while there is

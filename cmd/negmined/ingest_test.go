@@ -163,7 +163,7 @@ func TestStreamingIngestEndToEnd(t *testing.T) {
 
 	// Ingest the remaining 10%: TIDs continue after the seed.
 	var ir ingestResp
-	if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[450:]), &ir); code != http.StatusOK {
+	if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[450:]), &ir); code != http.StatusAccepted {
 		t.Fatalf("/ingest: %d", code)
 	}
 	if ir.Accepted != 50 || ir.FirstTID != 451 || ir.LastTID != 500 {
@@ -239,13 +239,13 @@ func TestStreamingAutoRemine(t *testing.T) {
 			"-ingest-dir", filepath.Join(dir, "log-txns"), "-data", seedPath, "-tax", taxPath,
 			"-minsup", "0.15", "-minri", "0.3", "-remine-txns", "40")
 		var ir ingestResp
-		if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[360:380]), &ir); code != http.StatusOK {
+		if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[360:380]), &ir); code != http.StatusAccepted {
 			t.Fatalf("/ingest: %d", code)
 		}
 		if ir.Refreshed {
 			t.Fatal("first batch (20 < 40 pending) triggered a re-mine")
 		}
-		if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[380:400]), &ir); code != http.StatusOK {
+		if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[380:400]), &ir); code != http.StatusAccepted {
 			t.Fatalf("/ingest: %d", code)
 		}
 		if !ir.Refreshed {
@@ -264,7 +264,7 @@ func TestStreamingAutoRemine(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		go cfg.ingest.remineLoop(ctx, cfg.remineEvery)
-		if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[360:400]), nil); code != http.StatusOK {
+		if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[360:400]), nil); code != http.StatusAccepted {
 			t.Fatal("/ingest failed")
 		}
 		waitRefreshes(h, 2)

@@ -85,6 +85,17 @@
 //	-advertise a      host:port the router should dial (default: the listen
 //	                  address, wildcard hosts rewritten to 127.0.0.1)
 //	-heartbeat d      cluster heartbeat interval (default 1s)
+//	-ha-role r        high-availability ingest role: primary or standby
+//	                  (streaming mode; requires -seglog-store)
+//	-seglog-store d   shared artifact store the HA pair replicates sealed
+//	                  segments (and fencing epochs) through
+//	-ha-peer URL      standby: the primary's base URL to tail
+//	-ha-lease d       standby failure-detector lease; expiry promotes
+//	                  (default 3s)
+//	-ha-ack-timeout d primary: max wait for the standby's replication ack
+//	                  before answering 503 (default 2s)
+//	-dedup-window n   ingest idempotency window entries (default 4096;
+//	                  streaming mode, 0 disables)
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to -drain to finish, and the process exits 0. A
@@ -136,6 +147,16 @@ type usageError struct{ err error }
 func (e *usageError) Error() string { return e.err.Error() }
 func (e *usageError) Unwrap() error { return e.err }
 
+// haConfig carries the parsed HA flags; the controller itself is built in
+// run(), after the node identity is known.
+type haConfig struct {
+	role       string
+	storeDir   string
+	peer       string
+	lease      time.Duration
+	ackTimeout time.Duration
+}
+
 // usageErrf prints the flag set's usage and returns a usageError.
 func usageErrf(fs *flag.FlagSet, format string, args ...any) error {
 	fs.Usage()
@@ -161,6 +182,7 @@ type config struct {
 
 	ingest      *ingestController // streaming mode (nil = file modes)
 	remineEvery time.Duration     // periodic re-mine trigger (streaming)
+	ha          *haConfig         // HA pair wiring (nil = solo)
 
 	// Cluster membership (zero values = standalone daemon).
 	spec      shardSpec // -shard assignment
@@ -202,6 +224,37 @@ func run(args []string, out io.Writer) error {
 		defer cfg.ingest.Close()
 		opts = append(opts, serve.WithIngest(cfg.ingest))
 	}
+	var ha *haController
+	if cfg.ha != nil {
+		store, err := artifact.OpenFS(cfg.ha.storeDir, 0)
+		if err != nil {
+			return fmt.Errorf("opening seglog store %s: %w", cfg.ha.storeDir, err)
+		}
+		// The boot-time fence reconciliation happens here, synchronously:
+		// a deposed primary comes up fenced before the listener serves a
+		// single /ingest.
+		ha, err = newHAController(haParams{
+			log:        cfg.ingest.log,
+			store:      store,
+			node:       nodeID,
+			role:       cfg.ha.role,
+			peer:       cfg.ha.peer,
+			leaseTTL:   cfg.ha.lease,
+			ackTimeout: cfg.ha.ackTimeout,
+			ingest:     cfg.ingest,
+			logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "negmined: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cfg.ingest.ha = ha
+		opts = append(opts,
+			serve.WithAuxHandler("/seglog/tail", ha.tailHandler()),
+			serve.WithAuxHandler("/ha/promote", ha.promoteHandler(ctx)),
+		)
+	}
 	srv, err := serve.NewServer(ctx, cfg.loadFunc, opts...)
 	if err != nil {
 		return err
@@ -212,16 +265,26 @@ func run(args []string, out io.Writer) error {
 			go cfg.ingest.remineLoop(ctx, cfg.remineEvery)
 		}
 	}
+	if ha != nil {
+		ha.start(ctx)
+		fmt.Fprintf(out, "negmined: ha %s (store %s, epoch %d)\n",
+			ha.currentRole(), cfg.ha.storeDir, cfg.ingest.log.Epoch())
+	}
 	if cfg.watch {
 		go srv.WatchWith(ctx, cfg.source, serve.WatchConfig{Interval: cfg.poll})
 	}
 	if cfg.join != "" {
+		roleFn := func() (string, int) { return "replica", 0 }
+		if cfg.ingest != nil {
+			roleFn = cfg.ingest.RoleLag
+		}
 		member := &clusterMember{
-			join:  cfg.join,
-			node:  nodeID,
-			addr:  advertise,
-			spec:  cfg.spec,
-			every: cfg.heartbeat,
+			join:   cfg.join,
+			node:   nodeID,
+			addr:   advertise,
+			spec:   cfg.spec,
+			every:  cfg.heartbeat,
+			roleFn: roleFn,
 			logf: func(format string, args ...any) {
 				fmt.Fprintf(out, "negmined: "+format+"\n", args...)
 			},
@@ -310,6 +373,13 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		snapSave = fs.Bool("snapshot-save", true, "persist every successful re-mine/refresh as a new snapshot generation (requires -snapshot-dir)")
 		snapKeep = fs.Int("snapshot-keep", 4, "snapshot generations retained in the store (0 = all; requires -snapshot-dir)")
 
+		haRole      = fs.String("ha-role", "", "high-availability ingest role: primary or standby (requires -ingest-dir and -seglog-store)")
+		seglogStore = fs.String("seglog-store", "", "shared artifact store directory the HA pair replicates the segment log through")
+		haPeer      = fs.String("ha-peer", "", "standby: the primary's base URL to tail (e.g. http://127.0.0.1:8377)")
+		haLease     = fs.Duration("ha-lease", 3*time.Second, "standby failure-detector lease; expiry triggers promotion")
+		haAckTO     = fs.Duration("ha-ack-timeout", 2*time.Second, "primary: max wait for the standby replication ack before answering 503")
+		dedupWindow = fs.Int("dedup-window", 4096, "ingest idempotency window entries (streaming mode; 0 disables)")
+
 		nodeID      = fs.String("node-id", "", "cluster node identity (default: the advertised host:port)")
 		shardFlag   = fs.String("shard", "", "serve shard k of an n-wide cluster, as k/n (e.g. 0/3)")
 		clusterJoin = fs.String("cluster-join", "", "negrouter base URL to register with and heartbeat (e.g. http://127.0.0.1:8378)")
@@ -353,9 +423,46 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		if *remineTxns < 0 {
 			return nil, usageErrf(fs, "-remine-txns = %d, want ≥ 0", *remineTxns)
 		}
+		if *dedupWindow < 0 {
+			return nil, usageErrf(fs, "-dedup-window = %d, want ≥ 0", *dedupWindow)
+		}
+		switch *haRole {
+		case "":
+			if *seglogStore != "" || *haPeer != "" {
+				return nil, usageErrf(fs, "-seglog-store/-ha-peer require -ha-role")
+			}
+		case haRolePrimary, haRoleStandby:
+			if *seglogStore == "" {
+				return nil, usageErrf(fs, "-ha-role requires -seglog-store (the pair's shared replication store)")
+			}
+			if *haLease <= 0 {
+				return nil, usageErrf(fs, "-ha-lease = %v, want > 0", *haLease)
+			}
+			if *haAckTO <= 0 {
+				return nil, usageErrf(fs, "-ha-ack-timeout = %v, want > 0", *haAckTO)
+			}
+			if *haRole == haRoleStandby {
+				if !strings.HasPrefix(*haPeer, "http://") && !strings.HasPrefix(*haPeer, "https://") {
+					return nil, usageErrf(fs, "-ha-role standby requires -ha-peer, an http(s) URL for the primary")
+				}
+				if *dataPath != "" {
+					return nil, usageErrf(fs, "-ha-role standby cannot seed from -data (its log is filled by replication)")
+				}
+			}
+		default:
+			return nil, usageErrf(fs, "unknown -ha-role %q (want primary or standby)", *haRole)
+		}
 	} else {
 		if *remineEvery != 0 || *remineTxns != 0 {
 			return nil, usageErrf(fs, "-remine-every/-remine-txns require -ingest-dir")
+		}
+		if *haRole != "" || *seglogStore != "" || *haPeer != "" {
+			return nil, usageErrf(fs, "-ha-role/-seglog-store/-ha-peer require -ingest-dir (streaming mode)")
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["dedup-window"] || set["ha-lease"] || set["ha-ack-timeout"] {
+			return nil, usageErrf(fs, "-dedup-window/-ha-lease/-ha-ack-timeout require -ingest-dir (streaming mode)")
 		}
 		if !replica && (*repPath == "") == (*dataPath == "") {
 			return nil, usageErrf(fs, "exactly one of -report or -data is required (or -snapshot-dir alone for replica mode)")
@@ -534,7 +641,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	opt.Gen.Count.Mem = mem
 
 	if *ingestDir != "" {
-		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns, *cache, keep)
+		ctrl, err := newIngestController(*ingestDir, *dataPath, *taxPath, opt, *remineTxns, *cache, *dedupWindow, keep)
 		if err != nil {
 			return nil, err
 		}
@@ -542,6 +649,15 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 		cfg.remineEvery = *remineEvery
 		cfg.source = *ingestDir
 		cfg.loadFunc = ctrl.load
+		if *haRole != "" {
+			cfg.ha = &haConfig{
+				role:       *haRole,
+				storeDir:   *seglogStore,
+				peer:       strings.TrimRight(*haPeer, "/"),
+				lease:      *haLease,
+				ackTimeout: *haAckTO,
+			}
+		}
 		return withShard(withSnapshots(cfg))
 	}
 

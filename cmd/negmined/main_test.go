@@ -52,7 +52,7 @@ func postJSON(t *testing.T, h http.Handler, url, body string, out any) int {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, strings.NewReader(body)))
-	if out != nil && rec.Code == http.StatusOK {
+	if out != nil && (rec.Code == http.StatusOK || rec.Code == http.StatusAccepted) {
 		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
 			t.Fatalf("POST %s: bad JSON: %v", url, err)
 		}

@@ -63,7 +63,7 @@ func TestIngestSoak(t *testing.T) {
 			for time.Now().Before(deadline) {
 				lo := rng.Intn(len(baskets) - 5)
 				var ir ingestResp
-				if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[lo:lo+5]), &ir); code != http.StatusOK {
+				if code := postJSON(t, h, "/ingest", ingestBody(t, baskets[lo:lo+5]), &ir); code != http.StatusAccepted {
 					t.Errorf("/ingest: %d", code)
 					return
 				}

@@ -1,0 +1,421 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"negmine"
+	"negmine/internal/datagen"
+)
+
+// TestIngestFailoverChaos runs the HA write path end to end with the real
+// binaries: a negrouter forwarding /ingest to a primary/standby negmined
+// pair replicating through a shared seglog store, with the primary
+// SIGKILLed mid-soak. Survival contract:
+//
+//   - every acknowledged (202, or 200-duplicate) batch survives the
+//     failover exactly once — acked TID ranges are disjoint and the
+//     survivor's log holds precisely the seed plus the acked batches;
+//   - the standby promotes itself within one lease interval (plus
+//     detection slack) of losing its primary;
+//   - a post-failover re-mine on the survivor is byte-identical to a
+//     single never-failed daemon fed the same transaction stream;
+//   - the deposed primary, restarted against the same store, boots fenced:
+//     its writes answer 409 and the rejections are counted in /metrics.
+
+// ingestFixture generates a taxonomy + basket pool and writes the files
+// the daemons load: a taxonomy and a small seed the primary boots from.
+func ingestFixture(t *testing.T, dir string) (taxPath, seedPath string, baskets [][]string, seedN int) {
+	t.Helper()
+	p := datagen.Scaled(datagen.Short(), 50)
+	p.NumTransactions = 400
+	p.Seed = 7
+	tax, db, err := datagen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Scan(func(tx negmine.Transaction) error {
+		names := make([]string, len(tx.Items))
+		for i, x := range tx.Items {
+			names[i] = tax.Name(x)
+		}
+		baskets = append(baskets, names)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	taxPath = filepath.Join(dir, "tax.txt")
+	tf, err := os.Create(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Write(tf); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	seedN = 60
+	seedPath = filepath.Join(dir, "seed.txt")
+	var sb strings.Builder
+	for _, b := range baskets[:seedN] {
+		sb.WriteString(strings.Join(b, " "))
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(seedPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return taxPath, seedPath, baskets, seedN
+}
+
+// haIngestResp is the daemon/router /ingest acknowledgement.
+type haIngestResp struct {
+	Accepted  int   `json:"accepted"`
+	FirstTID  int64 `json:"firstTid"`
+	LastTID   int64 `json:"lastTid"`
+	Duplicate bool  `json:"duplicate"`
+}
+
+// haTailPage mirrors negmined's GET /seglog/tail response.
+type haTailPage struct {
+	Epoch   int64 `json:"epoch"`
+	NextTID int64 `json:"nextTid"`
+	Txns    []struct {
+		TID   int64   `json:"tid"`
+		Items []int32 `json:"items"`
+	} `json:"txns"`
+	More bool `json:"more"`
+}
+
+// drainTail pages a daemon's full transaction log through /seglog/tail.
+func drainTail(t *testing.T, base string) ([]int64, [][]int32, int64) {
+	t.Helper()
+	var tids []int64
+	var items [][]int32
+	after := int64(0)
+	for {
+		code, raw, err := tryRouter(http.MethodGet,
+			fmt.Sprintf("%s/seglog/tail?after=%d&wait=0", base, after), "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("tail after=%d: HTTP %d, %v: %s", after, code, err, raw)
+		}
+		var page haTailPage
+		if err := json.Unmarshal(raw, &page); err != nil {
+			t.Fatal(err)
+		}
+		for _, tx := range page.Txns {
+			tids = append(tids, tx.TID)
+			items = append(items, tx.Items)
+			after = tx.TID
+		}
+		if !page.More && (len(page.Txns) == 0 || after == page.NextTID-1) {
+			return tids, items, page.NextTID
+		}
+	}
+}
+
+// metricsIngest fetches the ingest block of a daemon's /metrics.
+func metricsIngest(t *testing.T, base string) (role string, epoch, fenced int64) {
+	t.Helper()
+	code, raw, err := tryRouter(http.MethodGet, base+"/metrics", "")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d, %v", code, err)
+	}
+	var doc struct {
+		Ingest *struct {
+			Role          string `json:"role"`
+			Epoch         int64  `json:"epoch"`
+			FencedAppends int64  `json:"fencedAppends"`
+		} `json:"ingest"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Ingest == nil {
+		t.Fatalf("/metrics has no ingest block: %s", raw)
+	}
+	return doc.Ingest.Role, doc.Ingest.Epoch, doc.Ingest.FencedAppends
+}
+
+func TestIngestFailoverChaos(t *testing.T) {
+	if testing.Short() && os.Getenv("NEGMINE_CHAOS") == "" {
+		t.Skip("multi-process chaos test skipped in -short (set NEGMINE_CHAOS=1 to force)")
+	}
+	minedBin, routerBin := binaries(t)
+	dir := t.TempDir()
+	taxPath, seedPath, baskets, seedN := ingestFixture(t, dir)
+
+	const lease = 1500 * time.Millisecond
+	router := startProc(t, "router", routerBin,
+		"-addr", "127.0.0.1:0", "-shards", "1",
+		"-heartbeat-ttl", "500ms", "-probe-every", "100ms", "-shard-timeout", "2s")
+	routerURL := "http://" + router.addr
+
+	mineArgs := []string{"-tax", taxPath, "-minsup", "0.15", "-minri", "0.3", "-maxk", "4"}
+	primaryArgs := append([]string{
+		"-addr", "127.0.0.1:0", "-ingest-dir", filepath.Join(dir, "logA"), "-data", seedPath,
+		"-ha-role", "primary", "-seglog-store", filepath.Join(dir, "store"),
+		"-ha-lease", lease.String(), "-ha-ack-timeout", "2s",
+		"-node-id", "nodeP", "-cluster-join", routerURL, "-heartbeat", "100ms", "-drain", "2s",
+	}, mineArgs...)
+	primary := startProc(t, "primary", minedBin, primaryArgs...)
+
+	standby := startProc(t, "standby", minedBin, append([]string{
+		"-addr", "127.0.0.1:0", "-ingest-dir", filepath.Join(dir, "logB"),
+		"-ha-role", "standby", "-seglog-store", filepath.Join(dir, "store"),
+		"-ha-peer", "http://" + primary.addr, "-ha-lease", lease.String(),
+		"-node-id", "nodeS", "-cluster-join", routerURL, "-heartbeat", "100ms", "-drain", "2s",
+	}, mineArgs...)...)
+	standbyURL := "http://" + standby.addr
+
+	// Wait until the standby has replicated the whole seed — from here on,
+	// every acknowledged write is backed by the replication ack.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		_, _, next := drainTail(t, standbyURL)
+		if next == int64(seedN)+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never caught up with the %d-txn seed (NextTID %d)", seedN, next)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Keyed writers: each retries one (key, seq) batch until the router
+	// acknowledges it, then moves to the next — the client half of the
+	// exactly-once contract.
+	type acked struct {
+		baskets     [][]string
+		first, last int64
+	}
+	soak := chaosSoakDuration()
+	if soak < 4*time.Second {
+		soak = 4 * time.Second // failover alone needs a lease interval
+	}
+	soakEnd := time.Now().Add(soak)
+	var (
+		mu    sync.Mutex
+		acks  []acked
+		wg    sync.WaitGroup
+		dupes int
+	)
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			seq := uint64(0)
+			for time.Now().Before(soakEnd) {
+				seq++
+				lo := rng.Intn(len(baskets) - 3)
+				batch := baskets[lo : lo+3]
+				body, _ := json.Marshal(map[string]any{
+					"baskets": batch, "key": fmt.Sprintf("writer-%d", w), "seq": seq,
+				})
+				// Retry the same (key, seq) until acknowledged; 503/409 and
+				// transport errors during failover are expected and safe.
+				for attempt := 0; ; attempt++ {
+					if attempt > 600 {
+						t.Errorf("writer %d: seq %d never acknowledged", w, seq)
+						return
+					}
+					code, raw, err := tryRouter(http.MethodPost, routerURL+"/ingest", string(body))
+					if err != nil || code == http.StatusServiceUnavailable || code == http.StatusConflict || code >= 500 {
+						time.Sleep(50 * time.Millisecond)
+						continue
+					}
+					var resp haIngestResp
+					if code != http.StatusAccepted && code != http.StatusOK {
+						t.Errorf("writer %d: seq %d: HTTP %d: %s", w, seq, code, raw)
+						return
+					}
+					if err := json.Unmarshal(raw, &resp); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					if resp.Accepted != len(batch) || resp.LastTID != resp.FirstTID+int64(len(batch))-1 {
+						t.Errorf("writer %d: seq %d: bad ack %+v", w, seq, resp)
+						return
+					}
+					mu.Lock()
+					acks = append(acks, acked{baskets: batch, first: resp.FirstTID, last: resp.LastTID})
+					if resp.Duplicate {
+						dupes++
+					}
+					mu.Unlock()
+					break
+				}
+			}
+		}(w)
+	}
+
+	// The chaos event: SIGKILL the primary mid-soak, no drain, no goodbye.
+	time.Sleep(soak / 3)
+	t.Logf("SIGKILL primary (%s)", primary.addr)
+	killedAt := time.Now()
+	primary.kill()
+
+	// The standby must promote itself within one lease interval of losing
+	// contact (plus polling/detection slack).
+	promoteBy := killedAt.Add(lease + 3*time.Second)
+	for {
+		role, epoch, _ := metricsIngest(t, standbyURL)
+		if role == "primary" {
+			t.Logf("standby promoted %v after SIGKILL (epoch %d)", time.Since(killedAt).Round(time.Millisecond), epoch)
+			break
+		}
+		if time.Now().After(promoteBy) {
+			t.Fatalf("standby not promoted within %v of the kill (role %q)", lease+3*time.Second, role)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// ... and the router must learn the new primary from its heartbeats.
+	routeBy := time.Now().Add(5 * time.Second)
+	for {
+		_, raw, err := tryRouter(http.MethodGet, routerURL+"/healthz", "")
+		var doc struct {
+			IngestPrimary string `json:"ingestPrimary"`
+		}
+		if err == nil {
+			_ = json.Unmarshal(raw, &doc)
+		}
+		if doc.IngestPrimary == "nodeS" {
+			break
+		}
+		if time.Now().After(routeBy) {
+			t.Fatalf("router never switched its ingest primary to nodeS (%q)", doc.IngestPrimary)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	mu.Lock()
+	t.Logf("soak: %d batches acknowledged (%d as duplicates) across the failover", len(acks), dupes)
+	allAcks := append([]acked(nil), acks...)
+	mu.Unlock()
+	if len(allAcks) == 0 {
+		t.Fatal("soak produced no acknowledged batches")
+	}
+
+	// Exactly-once: acked TID ranges tile without overlap, and the
+	// survivor's log holds precisely the seed plus every acked batch.
+	tids, rawTxns, nextTID := drainTail(t, standbyURL)
+	sort.Slice(allAcks, func(i, j int) bool { return allAcks[i].first < allAcks[j].first })
+	ackedTxns := 0
+	for i, a := range allAcks {
+		ackedTxns += len(a.baskets)
+		if a.last >= nextTID {
+			t.Fatalf("ack [%d,%d] beyond the survivor log (NextTID %d)", a.first, a.last, nextTID)
+		}
+		if i > 0 && a.first <= allAcks[i-1].last {
+			t.Fatalf("acked ranges overlap: [%d,%d] then [%d,%d] — a batch was applied twice",
+				allAcks[i-1].first, allAcks[i-1].last, a.first, a.last)
+		}
+	}
+	if got, want := len(tids), seedN+ackedTxns; got != want {
+		t.Fatalf("survivor log has %d txns, want seed %d + acked %d = %d (lost or duplicated writes)",
+			got, seedN, ackedTxns, want)
+	}
+	for i, tid := range tids {
+		if tid != int64(i)+1 {
+			t.Fatalf("survivor log TIDs not dense: position %d holds %d", i, tid)
+		}
+	}
+
+	// Byte-identity oracle: a fresh single daemon fed the survivor's exact
+	// transaction stream must mine the same rules, byte for byte.
+	tax := parseTaxFile(t, taxPath)
+	oracle := startProc(t, "oracle", minedBin, append([]string{
+		"-addr", "127.0.0.1:0", "-ingest-dir", filepath.Join(dir, "logOracle"),
+	}, mineArgs...)...)
+	oracleURL := "http://" + oracle.addr
+	for lo := 0; lo < len(rawTxns); lo += 200 {
+		hi := lo + 200
+		if hi > len(rawTxns) {
+			hi = len(rawTxns)
+		}
+		chunk := make([][]string, 0, hi-lo)
+		for _, ids := range rawTxns[lo:hi] {
+			names := make([]string, len(ids))
+			for i, id := range ids {
+				names[i] = tax.Name(negmine.Item(id))
+			}
+			chunk = append(chunk, names)
+		}
+		body, _ := json.Marshal(map[string]any{"baskets": chunk})
+		code, raw, err := tryRouter(http.MethodPost, oracleURL+"/ingest", string(body))
+		if err != nil || code != http.StatusAccepted {
+			t.Fatalf("oracle ingest: HTTP %d, %v: %s", code, err, raw)
+		}
+	}
+	for _, base := range []string{standbyURL, oracleURL} {
+		code, raw, err := tryRouter(http.MethodPost, base+"/reload?wait=1", "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("reload on %s: HTTP %d, %v: %s", base, code, err, raw)
+		}
+	}
+	queried := 0
+	seenItem := map[string]bool{}
+	for _, b := range baskets {
+		it := b[0]
+		if seenItem[it] {
+			continue
+		}
+		seenItem[it] = true
+		url := "/rules?item=" + it + "&minri=0"
+		_, got := routerDo(t, http.MethodGet, standbyURL+url, "")
+		_, want := routerDo(t, http.MethodGet, oracleURL+url, "")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-failover mine diverges from oracle on %s:\n got: %s\nwant: %s", url, got, want)
+		}
+		if queried++; queried == 20 {
+			break
+		}
+	}
+	t.Logf("post-failover mine byte-identical to oracle on %d items", queried)
+
+	// The deposed primary restarts against the promoted store: it must come
+	// up fenced, refuse writes with 409, and count the rejections.
+	revenant := startProc(t, "primary*", minedBin, primaryArgs...)
+	revenantURL := "http://" + revenant.addr
+	body, _ := json.Marshal(map[string]any{
+		"baskets": [][]string{baskets[0]}, "key": "late-writer", "seq": 1,
+	})
+	code, raw, err := tryRouter(http.MethodPost, revenantURL+"/ingest", string(body))
+	if err != nil || code != http.StatusConflict {
+		t.Fatalf("deposed primary accepted a write: HTTP %d, %v: %s", code, err, raw)
+	}
+	role, _, fenced := metricsIngest(t, revenantURL)
+	if role != "fenced" || fenced < 1 {
+		t.Fatalf("deposed primary role %q with %d fenced appends, want fenced/≥1", role, fenced)
+	}
+	t.Logf("deposed primary fenced: %d late appends rejected", fenced)
+}
+
+func parseTaxFile(t *testing.T, path string) *negmine.Taxonomy {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tax, err := negmine.ParseTaxonomy(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tax
+}

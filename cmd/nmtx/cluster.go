@@ -12,14 +12,15 @@ import (
 	"negmine/internal/cluster"
 )
 
-// runCluster implements the `nmtx cluster` subcommand family against a
-// running negrouter:
+// runCluster implements the `nmtx cluster` subcommand family:
 //
 //	nmtx cluster status -router URL   shard health, generations, breakers
+//	nmtx cluster promote -node URL    manually promote a standby negmined
 func runCluster(args []string, out io.Writer) error {
 	usage := func(format string, a ...any) error {
 		fmt.Fprintln(out, `usage:
-  nmtx cluster status -router URL   shard/replica health table from a negrouter`)
+  nmtx cluster status -router URL   shard/replica health table from a negrouter
+  nmtx cluster promote -node URL    promote a standby negmined to ingest primary`)
 		return fmt.Errorf(format, a...)
 	}
 	if len(args) == 0 {
@@ -39,9 +40,62 @@ func runCluster(args []string, out io.Writer) error {
 			return usage("cluster status: unexpected arguments %v", fs.Args())
 		}
 		return clusterStatus(out, strings.TrimRight(*router, "/"), *timeout)
+	case "promote":
+		fs := flag.NewFlagSet("nmtx cluster promote", flag.ContinueOnError)
+		fs.SetOutput(out)
+		node := fs.String("node", "", "standby negmined base URL (e.g. http://127.0.0.1:8380)")
+		timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return usage("cluster promote: unexpected arguments %v", fs.Args())
+		}
+		if *node == "" || !strings.HasPrefix(*node, "http") {
+			return usage("cluster promote: -node must be the standby's http(s) URL")
+		}
+		return clusterPromote(out, strings.TrimRight(*node, "/"), *timeout)
 	default:
 		return usage("cluster: unknown subcommand %q", verb)
 	}
+}
+
+// clusterPromote triggers a manual failover: POST /ha/promote on the
+// standby. The daemon bumps the fencing epoch, publishes it in the shared
+// seglog store (fencing the old primary), and starts accepting writes.
+func clusterPromote(out io.Writer, node string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post(node+"/ha/promote", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("promoting %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Epoch  int64  `json:"epoch"`
+		Error  string `json:"error"`
+	}
+	_ = json.Unmarshal(raw, &doc)
+	if resp.StatusCode != http.StatusOK {
+		msg := doc.Error
+		if msg == "" {
+			msg = strings.TrimSpace(string(raw))
+		}
+		return fmt.Errorf("%s/ha/promote: HTTP %d: %s", node, resp.StatusCode, msg)
+	}
+	switch doc.Status {
+	case "promoted":
+		fmt.Fprintf(out, "%s promoted to ingest primary at epoch %d\n", node, doc.Epoch)
+	case "already-primary":
+		fmt.Fprintf(out, "%s is already the ingest primary (epoch %d)\n", node, doc.Epoch)
+	default:
+		fmt.Fprintf(out, "%s: %s\n", node, strings.TrimSpace(string(raw)))
+	}
+	return nil
 }
 
 // clusterStatus fetches and renders the router's shard/replica table.
@@ -90,6 +144,12 @@ func clusterStatus(out io.Writer, router string, timeout time.Duration) error {
 				r.Node, r.Addr, r.State, r.Generation, r.AgeSeconds, r.Rules)
 			if r.SourceKind != "" {
 				fmt.Fprintf(out, "  via %s", r.SourceKind)
+			}
+			if r.IngestRole != "" {
+				fmt.Fprintf(out, "  ingest %s", r.IngestRole)
+				if r.ReplLagSegments > 0 {
+					fmt.Fprintf(out, " (lag %d segs)", r.ReplLagSegments)
+				}
 			}
 			if r.Degraded {
 				fmt.Fprintf(out, "  load-degraded")

@@ -153,3 +153,113 @@ func TestFSConcurrentProducerAndFollowers(t *testing.T) {
 		}
 	}
 }
+
+// TestFSRetentionGCRacesLatest pins the window the seglog replication
+// follower lives in: a producer churning generations under the tightest
+// retention (keep 1) while followers chain Latest → Get(latest). The
+// freshest generation is the one retention must never evict, so a follower's
+// Get(Latest().Generation) may fail with not-found ONLY when the producer
+// has already committed a newer generation by the time the read lands —
+// never because GC collected the newest one.
+func TestFSRetentionGCRacesLatest(t *testing.T) {
+	dir := t.TempDir()
+	producer, err := OpenFS(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const gens = 120
+	payload := func(gen uint64) string { return fmt.Sprintf("gen %d", gen) }
+
+	var produced atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < gens; i++ {
+			info, err := producer.Put("churn", func(gen uint64, w io.Writer) error {
+				_, err := io.WriteString(w, payload(gen))
+				return err
+			})
+			if err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+			produced.Store(info.Generation)
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reads, evicted := 0, 0
+		for produced.Load() < gens {
+			latest, err := follower.Latest()
+			if errors.Is(err, ErrEmpty) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("Latest: %v", err)
+				return
+			}
+			rc, info, err := follower.Get(latest.Generation)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) || errors.Is(err, os.ErrNotExist) {
+					// Legal only when the race was lost forwards: GC may take
+					// this generation solely because a newer one committed, so
+					// the store itself must already report a newer Latest.
+					now, lerr := follower.Latest()
+					if lerr != nil {
+						t.Errorf("Latest after evicted Get(%d): %v", latest.Generation, lerr)
+						return
+					}
+					if now.Generation <= latest.Generation {
+						t.Errorf("Get(%d) lost to GC but store Latest is still %d",
+							latest.Generation, now.Generation)
+						return
+					}
+					evicted++
+					continue
+				}
+				t.Errorf("Get(%d): %v", latest.Generation, err)
+				return
+			}
+			b, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				t.Errorf("read gen %d: %v", latest.Generation, err)
+				return
+			}
+			if want := payload(latest.Generation); string(b) != want {
+				t.Errorf("gen %d bytes = %q, want %q", latest.Generation, b, want)
+				return
+			}
+			if crc := crc32.Checksum(b, castagnoli); crc != info.CRC32 {
+				t.Errorf("gen %d CRC = %x, want %x", latest.Generation, crc, info.CRC32)
+				return
+			}
+			reads++
+		}
+		if reads == 0 {
+			t.Error("follower finished without one successful Latest→Get chain")
+		}
+		t.Logf("follower: %d reads, %d lost to retention GC", reads, evicted)
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: exactly one generation retained, and it is the newest.
+	list, err := follower.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Generation != gens {
+		t.Fatalf("final retained generations = %+v, want just %d", list, gens)
+	}
+}

@@ -42,6 +42,7 @@ package cluster
 
 import (
 	"hash/fnv"
+	"sync"
 	"time"
 )
 
@@ -64,6 +65,12 @@ const (
 	// allowed to surface as a router 500 (it is the router's own fault, not
 	// a shard's).
 	PointMerge = "cluster.merge"
+
+	// PointPromote fires when a standby decides to promote itself (lease
+	// expiry or manual trigger), before any epoch is bumped; an error action
+	// models a promotion that cannot proceed yet and must be retried, never
+	// a half-promoted node.
+	PointPromote = "cluster.promote"
 )
 
 // ShardOfItem maps an item name to its owning shard in [0, shards).
@@ -131,7 +138,60 @@ type Heartbeat struct {
 	Rules      int     `json:"rules"`                // rules in the served snapshot
 	SourceKind string  `json:"sourceKind,omitempty"` // mined | json | ingest | mmap
 	Degraded   bool    `json:"degraded,omitempty"`   // govern degraded mode (shedding expensive work)
+	// IngestRole is the node's write-path role: "primary" (accepts
+	// /ingest), "standby" (replicating, promotable), "fenced" (deposed
+	// primary, rejecting writes), or "replica" (read-only serving node).
+	// Empty on heartbeats from pre-HA nodes.
+	IngestRole string `json:"ingestRole,omitempty"`
+	// ReplLagSegments is how many sealed segments the node's copy of the
+	// ingest log trails the primary's (standby only; 0 when caught up).
+	ReplLagSegments int `json:"replLagSegments,omitempty"`
 }
 
 // nowFunc is the clock the pool runs on; injectable for deterministic tests.
 type nowFunc func() time.Time
+
+// Lease is the standby's failure detector on its primary: every successful
+// contact renews it, and once TTL elapses with no renewal the holder may
+// act (promote). It is a plain deadline, not a distributed lease — the
+// fencing epoch in the seglog manifest is what makes a mistaken promotion
+// safe. Safe for concurrent use; the zero value is unusable, see NewLease.
+type Lease struct {
+	ttl time.Duration
+	now nowFunc
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// NewLease returns a lease with the given TTL, freshly renewed. A nil now
+// uses the wall clock.
+func NewLease(ttl time.Duration, now nowFunc) *Lease {
+	if now == nil {
+		now = time.Now
+	}
+	return &Lease{ttl: ttl, now: now, last: now()}
+}
+
+// Renew marks a successful primary contact.
+func (l *Lease) Renew() {
+	l.mu.Lock()
+	l.last = l.now()
+	l.mu.Unlock()
+}
+
+// Expired reports whether the TTL has elapsed since the last renewal.
+func (l *Lease) Expired() bool {
+	return l.SinceRenewal() > l.ttl
+}
+
+// TTL returns the lease interval.
+func (l *Lease) TTL() time.Duration { return l.ttl }
+
+// SinceRenewal returns how long ago the lease was last renewed.
+func (l *Lease) SinceRenewal() time.Duration {
+	l.mu.Lock()
+	last := l.last
+	l.mu.Unlock()
+	return l.now().Sub(last)
+}

@@ -84,13 +84,14 @@ func (h *histogram) export() histogramJSON {
 const (
 	repScore = iota
 	repRules
+	repIngest
 	repStatus
 	repHeartbeat
 	repOther
 	repCount
 )
 
-var repNames = [repCount]string{"score", "rules", "status", "heartbeat", "other"}
+var repNames = [repCount]string{"score", "rules", "ingest", "status", "heartbeat", "other"}
 
 // routerMetrics aggregates the router's counters. Everything is atomic: the
 // /metrics handler reads while request goroutines write.
@@ -106,6 +107,10 @@ type routerMetrics struct {
 	hedgeWins   atomic.Int64 // responses won by a hedge/retry attempt
 	partials    atomic.Int64 // degraded responses (206, partial:true)
 	noReplica   atomic.Int64 // shard fan-outs that found no routable replica
+
+	ingestForwarded atomic.Int64 // /ingest requests relayed to a primary
+	ingestNoPrimary atomic.Int64 // /ingest requests that found no routable primary
+	ingestRerouted  atomic.Int64 // /ingest attempts bounced (409/failure) onto another node
 
 	start time.Time
 }
@@ -137,6 +142,11 @@ type routerMetricsJSON struct {
 		Partials    int64 `json:"partialResponses"`
 		NoReplica   int64 `json:"noReplicaShardMisses"`
 	} `json:"fanout"`
+	Ingest struct {
+		Forwarded int64 `json:"forwarded"`
+		NoPrimary int64 `json:"noPrimary"`
+		Rerouted  int64 `json:"rerouted"`
+	} `json:"ingest"`
 	Cluster Status `json:"cluster"`
 }
 
@@ -167,6 +177,9 @@ func (m *routerMetrics) export(pool *Pool) routerMetricsJSON {
 	doc.Fanout.HedgeWins = m.hedgeWins.Load()
 	doc.Fanout.Partials = m.partials.Load()
 	doc.Fanout.NoReplica = m.noReplica.Load()
+	doc.Ingest.Forwarded = m.ingestForwarded.Load()
+	doc.Ingest.NoPrimary = m.ingestNoPrimary.Load()
+	doc.Ingest.Rerouted = m.ingestRerouted.Load()
 	doc.Cluster = pool.Status()
 	return doc
 }

@@ -121,6 +121,8 @@ type replica struct {
 	rules      int
 	sourceKind string
 	degraded   bool
+	ingestRole string
+	replLag    int
 
 	// Probe scheduling (down/suspect replicas only).
 	nextProbe    time.Time
@@ -221,6 +223,8 @@ func (p *Pool) Heartbeat(hb Heartbeat) error {
 	r.rules = hb.Rules
 	r.sourceKind = hb.SourceKind
 	r.degraded = hb.Degraded
+	r.ingestRole = hb.IngestRole
+	r.replLag = hb.ReplLagSegments
 	switch r.state {
 	case Down:
 		p.transition(r, Recovering, "heartbeat after down")
@@ -494,6 +498,53 @@ func (p *Pool) Pick(shard int, tried map[string]bool) (node, addr string) {
 	return best.node, best.addr
 }
 
+// PickIngestPrimary selects the replica to forward a write to: the one
+// whose latest heartbeat advertises the "primary" ingest role, skipping
+// down replicas, open breakers, and the node ids in tried. When several
+// qualify (a failover just moved the role), the freshest heartbeat wins —
+// it reflects the newest role assignment. Returns ok=false when no primary
+// is currently known, the write-unavailable (503) path.
+func (p *Pool) PickIngestPrimary(tried map[string]bool) (node, addr string, ok bool) {
+	now := p.cfg.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *replica
+	for _, r := range p.replicas {
+		if r.ingestRole != "primary" || tried[r.node] || r.state == Down || r.breakerOpen(now) {
+			continue
+		}
+		if best == nil || r.lastBeat.After(best.lastBeat) {
+			best = r
+		}
+	}
+	if best == nil {
+		return "", "", false
+	}
+	return best.node, best.addr, true
+}
+
+// IngestTopology summarizes the write path for /healthz: the advertised
+// primary (empty when none) and how many standbys are registered and alive.
+func (p *Pool) IngestTopology() (primary string, standbys int) {
+	now := p.cfg.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var freshest time.Time
+	for _, r := range p.replicas {
+		switch r.ingestRole {
+		case "primary":
+			if r.state != Down && !r.breakerOpen(now) && r.lastBeat.After(freshest) {
+				primary, freshest = r.node, r.lastBeat
+			}
+		case "standby":
+			if r.state != Down {
+				standbys++
+			}
+		}
+	}
+	return primary, standbys
+}
+
 // better reports whether a should be preferred over b. Called with p.mu held.
 func (p *Pool) better(a, b *replica) bool {
 	if ra, rb := stateRank(a.state), stateRank(b.state); ra != rb {
@@ -533,6 +584,8 @@ type ReplicaStatus struct {
 	Rules            int     `json:"rules"`
 	SourceKind       string  `json:"sourceKind,omitempty"`
 	Degraded         bool    `json:"degraded,omitempty"`
+	IngestRole       string  `json:"ingestRole,omitempty"`
+	ReplLagSegments  int     `json:"replLagSegments,omitempty"`
 	LastHeartbeatAgo float64 `json:"lastHeartbeatAgoSeconds"`
 	Failures         int64   `json:"failures"`
 	Requests         int64   `json:"requests"`
@@ -574,18 +627,20 @@ func (p *Pool) Status() Status {
 		row := ShardStatus{Shard: shard, Replicas: []ReplicaStatus{}}
 		for _, r := range p.byShard[shard] {
 			rs := ReplicaStatus{
-				Node:         r.node,
-				Addr:         r.addr,
-				State:        r.state.String(),
-				Generation:   r.generation,
-				AgeSeconds:   r.ageSeconds,
-				Rules:        r.rules,
-				SourceKind:   r.sourceKind,
-				Degraded:     r.degraded,
-				Failures:     r.failures,
-				Requests:     r.requests,
-				BreakerOpen:  r.breakerOpen(now),
-				BreakerOpens: r.brOpens,
+				Node:            r.node,
+				Addr:            r.addr,
+				State:           r.state.String(),
+				Generation:      r.generation,
+				AgeSeconds:      r.ageSeconds,
+				Rules:           r.rules,
+				SourceKind:      r.sourceKind,
+				Degraded:        r.degraded,
+				IngestRole:      r.ingestRole,
+				ReplLagSegments: r.replLag,
+				Failures:        r.failures,
+				Requests:        r.requests,
+				BreakerOpen:     r.breakerOpen(now),
+				BreakerOpens:    r.brOpens,
 			}
 			if !r.lastBeat.IsZero() {
 				rs.LastHeartbeatAgo = now.Sub(r.lastBeat).Seconds()

@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -177,6 +179,7 @@ func (p *Pool) httpProbe(ctx context.Context, addr string) error {
 //
 //	POST /score              fan out by basket-item shard, merge ranked matches
 //	GET  /rules?item=NAME    fan out to every shard, merge ranked rules
+//	POST /ingest             forward the write to the current ingest primary
 //	GET  /healthz            router liveness + routable-shard summary
 //	GET  /metrics            fan-out counters, latency, full cluster status
 //	POST /cluster/heartbeat  node registration + liveness (negmined -cluster-join)
@@ -185,6 +188,7 @@ func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/score", rt.instrument(repScore, http.HandlerFunc(rt.handleScore)))
 	mux.Handle("/rules", rt.instrument(repRules, http.HandlerFunc(rt.handleRules)))
+	mux.Handle("/ingest", rt.instrument(repIngest, http.HandlerFunc(rt.handleIngest)))
 	mux.Handle("/healthz", rt.instrument(repOther, http.HandlerFunc(rt.handleHealthz)))
 	mux.Handle("/metrics", rt.instrument(repOther, http.HandlerFunc(rt.handleMetrics)))
 	mux.Handle("/cluster/heartbeat", rt.instrument(repHeartbeat, http.HandlerFunc(rt.handleHeartbeat)))
@@ -568,12 +572,108 @@ func (rt *Router) handleRules(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, out)
 }
 
+// ingestReq mirrors serve's /ingest request body so the router can
+// validate before forwarding and inject an idempotency key when the client
+// supplied none.
+type ingestReq struct {
+	Baskets [][]string `json:"baskets"`
+	Key     string     `json:"key,omitempty"`
+	Seq     uint64     `json:"seq,omitempty"`
+}
+
+// handleIngest forwards a write to the current ingest primary. Client-keyed
+// bodies are relayed byte-for-byte (the key makes cross-node retries safe);
+// unkeyed bodies get a router-generated key so the router's own failover
+// retries cannot double-apply a batch. A 409 from a node means it is not
+// (or no longer) the primary — the router re-picks and retries; with no
+// routable primary the answer is 503 with a Retry-After hint.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, `use POST /ingest with {"baskets": [[...], ...]}`)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req ingestReq
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Baskets) == 0 {
+		writeError(w, http.StatusBadRequest, "baskets must contain at least one basket")
+		return
+	}
+	if req.Key == "" {
+		var rnd [12]byte
+		if _, err := rand.Read(rnd[:]); err != nil {
+			writeError(w, http.StatusInternalServerError, "generating idempotency key: %v", err)
+			return
+		}
+		req.Key, req.Seq = "negrouter-"+hex.EncodeToString(rnd[:]), 1
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "re-encoding request: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ShardTimeout)
+	defer cancel()
+	mkReq := func(ctx context.Context, addr string) (*http.Request, error) {
+		fr, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/ingest", bytes.NewReader(body))
+		if err == nil {
+			fr.Header.Set("Content-Type", "application/json")
+		}
+		return fr, err
+	}
+	tried := map[string]bool{}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		node, addr, ok := rt.pool.PickIngestPrimary(tried)
+		if !ok {
+			break
+		}
+		tried[node] = true
+		rt.metrics.attempts.Add(1)
+		res := rt.doAttempt(ctx, node, addr, attempt, mkReq)
+		if res.err != nil {
+			rt.pool.ReportFailure(node)
+			rt.metrics.ingestRerouted.Add(1)
+			continue
+		}
+		rt.pool.ReportSuccess(node)
+		if res.status == http.StatusConflict {
+			// The node believes it is not the primary (fenced or demoted):
+			// its heartbeat role is out of date. Try any other candidate.
+			rt.metrics.ingestRerouted.Add(1)
+			continue
+		}
+		rt.metrics.ingestForwarded.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+		return
+	}
+	rt.metrics.ingestNoPrimary.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no routable ingest primary")
+}
+
 // routerHealth is the router /healthz payload.
 type routerHealth struct {
 	Status     string `json:"status"` // ok | degraded
 	Shards     int    `json:"shards"`
 	Routable   int    `json:"routableShards"`
 	Registered int    `json:"registeredReplicas"`
+	// IngestPrimary is the node currently advertising the primary ingest
+	// role ("" when the cluster has no write path or the primary is down);
+	// IngestStandbys counts live standbys ready to take over.
+	IngestPrimary  string `json:"ingestPrimary,omitempty"`
+	IngestStandbys int    `json:"ingestStandbys,omitempty"`
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -582,6 +682,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if st.Routable < st.Shards {
 		doc.Status = "degraded"
 	}
+	doc.IngestPrimary, doc.IngestStandbys = rt.pool.IngestTopology()
 	writeJSON(w, http.StatusOK, doc)
 }
 

@@ -73,6 +73,19 @@ type segCache struct {
 	counts map[item.Key]int // exact support counts, by itemset key
 }
 
+// segKey identifies a sealed segment for caching purposes. The CRC rides
+// along with the ID because IDs alone are not stable identities across every
+// log history: a replication follower that adopts a primary's segments, or a
+// log rebuilt in place, can present a recycled ID with different content.
+// Keying on (ID, CRC) turns any such collision into a harmless cache miss
+// instead of mining stale counts.
+type segKey struct {
+	id  int64
+	crc uint32
+}
+
+func segKeyOf(e seglog.SegmentEntry) segKey { return segKey{id: e.ID, crc: e.CRC} }
+
 // Miner incrementally mines a segment log. The zero value is not usable;
 // see New. A Miner is safe for concurrent use, but refreshes serialize.
 type Miner struct {
@@ -80,7 +93,7 @@ type Miner struct {
 	opt negative.Options
 
 	mu    sync.Mutex
-	segs  map[int64]*segCache
+	segs  map[segKey]*segCache
 	stats RefreshStats // last refresh
 }
 
@@ -89,7 +102,7 @@ type Miner struct {
 // Algorithm field is ignored — incremental refresh always follows the
 // Improved schedule).
 func New(tax *taxonomy.Taxonomy, opt negative.Options) *Miner {
-	return &Miner{tax: tax, opt: opt, segs: map[int64]*segCache{}}
+	return &Miner{tax: tax, opt: opt, segs: map[segKey]*segCache{}}
 }
 
 // LastStats returns the statistics of the most recent Refresh.
@@ -109,30 +122,31 @@ func (m *Miner) Refresh(log *seglog.Log) (*negative.Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
-	rs := &refreshState{known: map[int64]bool{}}
+	rs := &refreshState{known: map[segKey]bool{}}
 	st := &rs.st
 
 	views := log.SealedViews()
-	live := make(map[int64]bool, len(views))
+	live := make(map[segKey]bool, len(views))
 	for _, v := range views {
-		live[v.Entry.ID] = true
+		live[segKeyOf(v.Entry)] = true
 		st.N += v.Entry.Txns
 	}
 	st.Segments = len(views)
-	// Drop caches of segments that no longer exist (compacted away).
-	for id := range m.segs {
-		if !live[id] {
-			delete(m.segs, id)
+	// Drop caches of segments that no longer exist (compacted away, or
+	// replaced under a recycled ID — the CRC in the key catches those).
+	for k := range m.segs {
+		if !live[k] {
+			delete(m.segs, k)
 		}
 	}
-	for id := range m.segs {
-		rs.known[id] = true
+	for k := range m.segs {
+		rs.known[k] = true
 	}
 
 	// Phase I on segments we have not seen: buffer, extend, mine locally.
 	minSup := m.opt.MinSupport
 	for _, v := range views {
-		if _, ok := m.segs[v.Entry.ID]; ok {
+		if _, ok := m.segs[segKeyOf(v.Entry)]; ok {
 			continue
 		}
 		st.NewSegments++
@@ -152,7 +166,7 @@ func (m *Miner) Refresh(log *seglog.Log) (*negative.Result, error) {
 		if err := m.countInto(v, sc, sc.local, rs); err != nil {
 			return nil, err
 		}
-		m.segs[v.Entry.ID] = sc
+		m.segs[segKeyOf(v.Entry)] = sc
 	}
 
 	if err := fault.Hit(PointMerge); err != nil {
@@ -227,11 +241,11 @@ func (m *Miner) Refresh(log *seglog.Log) (*negative.Result, error) {
 }
 
 // refreshState carries one refresh's statistics plus the set of segment
-// ids that were already cached when the refresh began — a counting scan
+// keys that were already cached when the refresh began — a counting scan
 // against one of those is old-segment work the steady state avoids.
 type refreshState struct {
 	st    RefreshStats
-	known map[int64]bool
+	known map[segKey]bool
 }
 
 // countEverywhere returns, for each set, its exact support count over all
@@ -240,7 +254,7 @@ type refreshState struct {
 func (m *Miner) countEverywhere(views []seglog.SegmentView, sets []item.Itemset, rs *refreshState) ([]int, error) {
 	total := make([]int, len(sets))
 	for _, v := range views {
-		sc := m.segs[v.Entry.ID]
+		sc := m.segs[segKeyOf(v.Entry)]
 		var missing []item.Itemset
 		for _, s := range sets {
 			if _, ok := sc.counts[s.Key()]; !ok {
@@ -274,7 +288,7 @@ func (m *Miner) countInto(v seglog.SegmentView, sc *segCache, sets []item.Itemse
 	}
 	rs.st.CountScans++
 	rs.st.CacheMisses += len(sets)
-	if rs.known[v.Entry.ID] {
+	if rs.known[segKeyOf(v.Entry)] {
 		rs.st.OldSegmentScans++
 	}
 	bySize := map[int][]item.Itemset{}

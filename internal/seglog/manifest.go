@@ -34,10 +34,16 @@ type SegmentEntry struct {
 // is only ever replaced atomically (atomicio), so a reader observes either
 // the old or the new log state — never a mix.
 type manifest struct {
-	Version int            `json:"version"`
-	NextID  int64          `json:"nextId"`
-	Active  int64          `json:"active"`
-	Sealed  []SegmentEntry `json:"sealed"`
+	Version int   `json:"version"`
+	NextID  int64 `json:"nextId"`
+	Active  int64 `json:"active"`
+	// Epoch is the log's fencing token. Every append made on behalf of a
+	// writer carries the epoch the writer believes it owns; a mismatch is
+	// rejected with ErrFenced. Promotion (HA failover) bumps the epoch, so
+	// a deposed primary's late writes can never land after the standby has
+	// taken over. Absent in pre-HA manifests, which decode as epoch 0.
+	Epoch  int64          `json:"epoch,omitempty"`
+	Sealed []SegmentEntry `json:"sealed"`
 }
 
 // validate checks the structural invariants a well-formed manifest has.
@@ -49,6 +55,9 @@ func (m *manifest) validate() error {
 	}
 	if m.Active <= 0 {
 		return fmt.Errorf("seglog: manifest has no active segment")
+	}
+	if m.Epoch < 0 {
+		return fmt.Errorf("seglog: manifest has negative epoch %d", m.Epoch)
 	}
 	seen := map[int64]bool{m.Active: true}
 	maxID := m.Active

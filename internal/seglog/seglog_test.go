@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"negmine/internal/item"
@@ -482,5 +483,113 @@ func TestConcurrentAppendAndScan(t *testing.T) {
 	}
 	if got := l.Count(); got != 200 {
 		t.Fatalf("Count = %d, want 200", got)
+	}
+}
+
+// TestTornTailRecoveryWithConcurrentReader opens a log whose active tail was
+// torn by a crash and immediately puts it under concurrent load: readers
+// scan in a loop while a writer appends and seals. Recovery truncation must
+// be complete before Open returns — no scan may ever observe the torn bytes
+// or a gap — and the post-recovery TID sequence must continue exactly where
+// the last durable frame left off.
+func TestTornTailRecoveryWithConcurrentReader(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sealed segment plus a surviving frame in the active tail.
+	if _, _, err := l.Append([]item.Itemset{basket(1, 2), basket(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]item.Itemset{basket(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segmentPath(dir, 2), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0xde, 0xad, 0xbe}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.RecoveredDrop != int64(len(torn)) {
+		t.Fatalf("RecoveredDrop = %d, want %d", st.RecoveredDrop, len(torn))
+	}
+
+	const appends = 60
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			if _, _, err := l2.Append([]item.Itemset{basket(i%7 + 1)}); err != nil {
+				errc <- fmt.Errorf("append %d: %w", i, err)
+				return
+			}
+			if i%20 == 19 {
+				if err := l2.Seal(); err != nil {
+					errc <- fmt.Errorf("seal at %d: %w", i, err)
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				prev := int64(0)
+				err := l2.Scan(func(tx txdb.Transaction) error {
+					if tx.TID != prev+1 {
+						return fmt.Errorf("TID %d after %d (gap or torn frame surfaced)", tx.TID, prev)
+					}
+					if len(tx.Items) == 0 {
+						return fmt.Errorf("TID %d scanned with no items", tx.TID)
+					}
+					prev = tx.TID
+					return nil
+				})
+				if err != nil {
+					errc <- fmt.Errorf("reader %d scan %d: %w", r, i, err)
+					return
+				}
+				if prev < 3 {
+					errc <- fmt.Errorf("reader %d scan %d ended at TID %d, want ≥ 3 (recovered prefix)", r, i, prev)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// 3 durable pre-crash txns + the post-recovery appends, TIDs unbroken.
+	if got := l2.Count(); got != 3+appends {
+		t.Fatalf("Count = %d, want %d", got, 3+appends)
+	}
+	txs := collect(t, l2)
+	for i, tx := range txs {
+		if tx.TID != int64(i+1) {
+			t.Fatalf("tx %d has TID %d", i, tx.TID)
+		}
 	}
 }

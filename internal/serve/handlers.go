@@ -73,6 +73,11 @@ type healthResponse struct {
 	Node       string       `json:"node,omitempty"` // cluster node identity (WithNodeID)
 	Snapshot   SnapshotInfo `json:"snapshot"`
 	AgeSeconds float64      `json:"snapshotAgeSeconds"`
+	// IngestRole is the node's write-path role (primary | standby | fenced,
+	// empty on non-HA daemons); ReplLagSegments is a standby's sealed-segment
+	// lag behind its primary.
+	IngestRole      string `json:"ingestRole,omitempty"`
+	ReplLagSegments int    `json:"replLagSegments,omitempty"`
 }
 
 // reloadResponse is the /reload payload.
@@ -100,6 +105,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", s.instrument(epMetrics, http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("/reload", s.instrument(epReload, http.HandlerFunc(s.handleReload)))
 	mux.Handle("/ingest", s.instrument(epIngest, http.HandlerFunc(s.handleIngest)))
+	for path, h := range s.aux {
+		mux.Handle(path, s.instrument(epOther, h))
+	}
 	mux.Handle("/", s.instrument(epOther, http.NotFoundHandler()))
 	return mux
 }
@@ -341,12 +349,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, healthResponse{
+	doc := healthResponse{
 		Status:     "ok",
 		Node:       s.nodeID,
 		Snapshot:   snap.Info(),
 		AgeSeconds: snap.Age().Seconds(),
-	})
+	}
+	if s.ingest != nil {
+		st := s.ingest.Stats()
+		doc.IngestRole = st.Role
+		doc.ReplLagSegments = st.ReplLagSegments
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,34 @@ import (
 // other sink error is a server-side failure and maps to 500.
 var ErrIngestRejected = errors.New("batch rejected")
 
+// Write-path errors for high-availability ingest. The handler maps all
+// three refusals to 409 Conflict (the request is well-formed; this node or
+// this sequence number is just not allowed to apply it) and unavailability
+// to 503 with a Retry-After hint.
+var (
+	// ErrIngestFenced marks an append refused because the node's fencing
+	// epoch is stale: another node was promoted primary past it.
+	ErrIngestFenced = errors.New("ingest fenced: a newer primary holds the log")
+	// ErrIngestNotPrimary marks a write sent to a standby or replica.
+	ErrIngestNotPrimary = errors.New("ingest refused: node is not the primary")
+	// ErrIngestStale marks a keyed batch whose sequence number is at or
+	// below one already retired from the dedup window.
+	ErrIngestStale = errors.New("ingest refused: stale sequence number")
+	// ErrIngestUnavailable marks a write the primary could not make safe in
+	// time (e.g. replication ack timeout); the client should retry.
+	ErrIngestUnavailable = errors.New("ingest unavailable: retry later")
+)
+
+// IngestBatch is one write: a batch of named baskets plus an optional
+// idempotency identity. When Key is set, (Key, Seq) must be unique per
+// batch; retrying the same pair replays the original acknowledgment
+// instead of appending twice.
+type IngestBatch struct {
+	Baskets [][]string
+	Key     string
+	Seq     uint64
+}
+
 // IngestResult reports what an accepted batch became: the transaction id
 // range the log assigned (durable before the sink returns) and whether the
 // sink decided the accumulated delta warrants a background re-mine.
@@ -20,6 +48,7 @@ type IngestResult struct {
 	LastTID   int64
 	Accepted  int
 	Refreshed bool // a re-mine was triggered by this batch
+	Duplicate bool // a keyed retry answered from the dedup window
 }
 
 // IngestStats is the ingest block of the /metrics document, filled by the
@@ -41,6 +70,15 @@ type IngestStats struct {
 	LastRefreshSeconds     float64 `json:"lastRefreshSeconds,omitempty"`
 	LastRefreshNewSegments int     `json:"lastRefreshNewSegments,omitempty"`
 	LastRefreshOldScans    int     `json:"lastRefreshOldSegmentScans"`
+	// High-availability state. Role is primary | standby | fenced (empty on
+	// non-HA daemons); the counters mirror the seglog's fencing and dedup
+	// activity, and ReplLagSegments is the standby's sealed-segment lag.
+	Role            string `json:"role,omitempty"`
+	Epoch           int64  `json:"epoch,omitempty"`
+	FencedAppends   int64  `json:"fencedAppends,omitempty"`
+	DedupHits       int64  `json:"dedupHits,omitempty"`
+	DedupEntries    int    `json:"dedupEntries,omitempty"`
+	ReplLagSegments int    `json:"replLagSegments,omitempty"`
 }
 
 // IngestSink accepts batches of named baskets from POST /ingest. The serve
@@ -50,8 +88,10 @@ type IngestStats struct {
 type IngestSink interface {
 	// Ingest appends the batch durably and returns the assigned TID range.
 	// Content problems (unknown item name, empty basket) are reported with
-	// an error wrapping ErrIngestRejected and nothing is appended.
-	Ingest(ctx context.Context, baskets [][]string) (IngestResult, error)
+	// an error wrapping ErrIngestRejected and nothing is appended; keyed
+	// retries of an applied batch return the original result with
+	// Duplicate set.
+	Ingest(ctx context.Context, batch IngestBatch) (IngestResult, error)
 	// Stats snapshots the sink's counters for /metrics.
 	Stats() IngestStats
 }
@@ -63,18 +103,24 @@ func WithIngest(sink IngestSink) Option {
 }
 
 // ingestRequest is the /ingest request body: a batch of baskets, each a
-// list of item names from the snapshot's dictionary.
+// list of item names from the snapshot's dictionary, optionally tagged
+// with an idempotency key and per-key sequence number.
 type ingestRequest struct {
 	Baskets [][]string `json:"baskets"`
+	Key     string     `json:"key,omitempty"`
+	Seq     uint64     `json:"seq,omitempty"`
 }
 
 // ingestResponse is the /ingest payload. The TID range is durable (fsync'd
-// to the segment log) by the time the client reads it.
+// to the segment log) by the time the client reads it. A fresh append
+// answers 202; a keyed retry replays the original range with 200 and
+// duplicate set.
 type ingestResponse struct {
 	Accepted  int   `json:"accepted"`
 	FirstTID  int64 `json:"firstTid"`
 	LastTID   int64 `json:"lastTid"`
 	Refreshed bool  `json:"refreshTriggered"`
+	Duplicate bool  `json:"duplicate,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -110,19 +156,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.ingest.Ingest(r.Context(), req.Baskets)
-	if err != nil {
-		if errors.Is(err, ErrIngestRejected) {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		writeError(w, http.StatusInternalServerError, "ingest failed: %v", err)
+	if req.Key == "" && req.Seq != 0 {
+		writeError(w, http.StatusBadRequest, "seq requires a key")
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{
+	if req.Key != "" && req.Seq == 0 {
+		writeError(w, http.StatusBadRequest, "keyed batches need seq >= 1")
+		return
+	}
+	res, err := s.ingest.Ingest(r.Context(), IngestBatch{Baskets: req.Baskets, Key: req.Key, Seq: req.Seq})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrIngestRejected):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, ErrIngestFenced), errors.Is(err, ErrIngestNotPrimary), errors.Is(err, ErrIngestStale):
+			writeError(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, ErrIngestUnavailable):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "ingest failed: %v", err)
+		}
+		return
+	}
+	status := http.StatusAccepted
+	if res.Duplicate {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, ingestResponse{
 		Accepted:  res.Accepted,
 		FirstTID:  res.FirstTID,
 		LastTID:   res.LastTID,
 		Refreshed: res.Refreshed,
+		Duplicate: res.Duplicate,
 	})
 }

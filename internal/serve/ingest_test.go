@@ -9,14 +9,16 @@ import (
 	"testing"
 )
 
-// fakeSink is an in-memory IngestSink: it assigns sequential TIDs and
-// rejects any item name outside its dictionary.
+// fakeSink is an in-memory IngestSink: it assigns sequential TIDs, rejects
+// any item name outside its dictionary, and replays keyed retries from a
+// map the way the real dedup window does.
 type fakeSink struct {
 	known   map[string]bool
 	nextTID int64
 	batches int
 	txns    int64
-	fail    error // forced server-side failure when set
+	seen    map[string]IngestResult // key:seq → first result
+	fail    error                   // forced server-side failure when set
 }
 
 func newFakeSink(names ...string) *fakeSink {
@@ -24,25 +26,35 @@ func newFakeSink(names ...string) *fakeSink {
 	for _, n := range names {
 		known[n] = true
 	}
-	return &fakeSink{known: known, nextTID: 1}
+	return &fakeSink{known: known, nextTID: 1, seen: map[string]IngestResult{}}
 }
 
-func (f *fakeSink) Ingest(_ context.Context, baskets [][]string) (IngestResult, error) {
+func (f *fakeSink) Ingest(_ context.Context, batch IngestBatch) (IngestResult, error) {
 	if f.fail != nil {
 		return IngestResult{}, f.fail
 	}
-	for _, b := range baskets {
+	ks := fmt.Sprintf("%s:%d", batch.Key, batch.Seq)
+	if batch.Key != "" {
+		if res, ok := f.seen[ks]; ok {
+			res.Duplicate = true
+			return res, nil
+		}
+	}
+	for _, b := range batch.Baskets {
 		for _, name := range b {
 			if !f.known[name] {
 				return IngestResult{}, fmt.Errorf("%w: unknown item %q", ErrIngestRejected, name)
 			}
 		}
 	}
-	res := IngestResult{FirstTID: f.nextTID, Accepted: len(baskets)}
-	f.nextTID += int64(len(baskets))
+	res := IngestResult{FirstTID: f.nextTID, Accepted: len(batch.Baskets)}
+	f.nextTID += int64(len(batch.Baskets))
 	res.LastTID = f.nextTID - 1
 	f.batches++
-	f.txns += int64(len(baskets))
+	f.txns += int64(len(batch.Baskets))
+	if batch.Key != "" {
+		f.seen[ks] = res
+	}
 	return res, nil
 }
 
@@ -70,7 +82,7 @@ func TestHandlerIngest(t *testing.T) {
 	h := newIngestServer(t, sink).Handler()
 
 	code, body := post(t, h, "/ingest", `{"baskets":[["pepsi","chips"],["pepsi"]]}`)
-	if code != http.StatusOK {
+	if code != http.StatusAccepted {
 		t.Fatalf("POST /ingest: %d %s", code, body)
 	}
 	var resp struct {
@@ -87,7 +99,7 @@ func TestHandlerIngest(t *testing.T) {
 
 	// TIDs keep advancing across batches.
 	code, body = post(t, h, "/ingest", `{"baskets":[["chips"]]}`)
-	if code != http.StatusOK {
+	if code != http.StatusAccepted {
 		t.Fatalf("second POST /ingest: %d %s", code, body)
 	}
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
@@ -112,6 +124,8 @@ func TestHandlerIngestValidation(t *testing.T) {
 		{"no baskets", `{"baskets":[]}`, http.StatusBadRequest},
 		{"empty basket", `{"baskets":[["pepsi"],[]]}`, http.StatusBadRequest},
 		{"unknown item", `{"baskets":[["coke-zero-max"]]}`, http.StatusBadRequest},
+		{"seq without key", `{"baskets":[["pepsi"]],"seq":1}`, http.StatusBadRequest},
+		{"key without seq", `{"baskets":[["pepsi"]],"key":"k"}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		if code, body := post(t, h, "/ingest", tc.body); code != tc.want {
@@ -149,15 +163,73 @@ func TestHandlerIngestBodyBound(t *testing.T) {
 	if code, body := post(t, h, "/ingest", big); code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized ingest: %d %s, want 413", code, body)
 	}
-	if code, _ := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusOK {
+	if code, _ := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusAccepted {
 		t.Fatalf("small ingest after 413 rejected")
+	}
+}
+
+func TestHandlerIngestKeyedReplay(t *testing.T) {
+	sink := newFakeSink("pepsi")
+	h := newIngestServer(t, sink).Handler()
+
+	const body = `{"baskets":[["pepsi"]],"key":"writer-1","seq":7}`
+	code, first := post(t, h, "/ingest", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("keyed POST /ingest: %d %s", code, first)
+	}
+	// Retrying the same (key, seq) replays the original TID range with 200
+	// and the duplicate marker, and appends nothing.
+	code, second := post(t, h, "/ingest", body)
+	if code != http.StatusOK {
+		t.Fatalf("keyed retry: %d %s", code, second)
+	}
+	var a, b struct {
+		FirstTID  int64 `json:"firstTid"`
+		LastTID   int64 `json:"lastTid"`
+		Duplicate bool  `json:"duplicate"`
+	}
+	if err := json.Unmarshal([]byte(first), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(second), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Duplicate || !b.Duplicate {
+		t.Fatalf("duplicate flags: first=%v second=%v", a.Duplicate, b.Duplicate)
+	}
+	if a.FirstTID != b.FirstTID || a.LastTID != b.LastTID {
+		t.Fatalf("replay changed the TID range: %+v vs %+v", a, b)
+	}
+	if sink.txns != 1 {
+		t.Fatalf("retry appended: %d txns", sink.txns)
+	}
+}
+
+func TestHandlerIngestHAErrors(t *testing.T) {
+	sink := newFakeSink("pepsi")
+	h := newIngestServer(t, sink).Handler()
+
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrIngestFenced, http.StatusConflict},
+		{ErrIngestNotPrimary, http.StatusConflict},
+		{ErrIngestStale, http.StatusConflict},
+		{ErrIngestUnavailable, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		sink.fail = fmt.Errorf("wrapped: %w", tc.err)
+		if code, body := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != tc.want {
+			t.Errorf("%v: got %d %s, want %d", tc.err, code, body, tc.want)
+		}
 	}
 }
 
 func TestMetricsIngestBlock(t *testing.T) {
 	sink := newFakeSink("pepsi")
 	h := newIngestServer(t, sink).Handler()
-	if code, _ := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusOK {
+	if code, _ := post(t, h, "/ingest", `{"baskets":[["pepsi"]]}`); code != http.StatusAccepted {
 		t.Fatal("ingest failed")
 	}
 

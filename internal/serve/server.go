@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,7 @@ type Server struct {
 	maxBody    int64              // POST body bound in bytes (0 = default, <0 = none)
 	ingest     IngestSink         // POST /ingest backend (nil = endpoint disabled)
 	nodeID     string             // cluster node identity ("" = unnamed)
+	aux        map[string]http.Handler
 
 	reloadMu  sync.Mutex  // serializes loads; readers never touch it
 	reloading atomic.Bool // a reload is in flight (coalesces triggers)
@@ -91,6 +93,20 @@ func WithGovernor(c *govern.Controller) Option {
 // node answered. Empty (the default) leaves responses unmarked.
 func WithNodeID(id string) Option {
 	return func(s *Server) { s.nodeID = id }
+}
+
+// WithAuxHandler mounts an extra handler at path on the server's mux, wrapped
+// in the same instrumentation armor (metrics under "other", panic recovery,
+// body bound, request timeout) as the built-in endpoints. The daemon layer
+// uses this for endpoints whose logic lives above serve — the replication
+// tail stream and the manual-promotion trigger.
+func WithAuxHandler(path string, h http.Handler) Option {
+	return func(s *Server) {
+		if s.aux == nil {
+			s.aux = map[string]http.Handler{}
+		}
+		s.aux[path] = h
+	}
 }
 
 // DefaultMaxBodyBytes bounds POST request bodies when WithMaxBodyBytes is

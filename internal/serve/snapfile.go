@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -182,6 +183,15 @@ func OpenSnapshotFile(path string, cacheSize int) (*Snapshot, error) {
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if s.built.UnixNano() <= 0 {
+		// Pre-CreatedNs files (or writers that never stamped one) would leave
+		// built at the epoch and Age() reporting decades — which replica-mode
+		// daemons then export as snapshot.age_seconds until their first
+		// manifest poll. The file's mtime is the honest fallback.
+		if fi, statErr := os.Stat(path); statErr == nil {
+			s.built = fi.ModTime()
+		}
 	}
 	s.buildDur = time.Since(start)
 	s.sourceKind = "mmap"

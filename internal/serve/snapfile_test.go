@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // TestSnapshotFileRoundTripOracle is the snapshot-format oracle: build a
@@ -169,5 +170,53 @@ func TestOpenSnapshotFileRejectsCorruption(t *testing.T) {
 		if _, err := OpenSnapshotFile(p, -1); err == nil {
 			t.Fatalf("truncation at %d loaded successfully", cut)
 		}
+	}
+}
+
+// TestOpenSnapshotFileMtimeFallback: a .nsnap whose writer never stamped
+// CreatedNs (pre-HA files, or replication paths that rebuild images) must
+// not report a built time at the epoch — replica-mode freshness alarms
+// would read that as a snapshot decades stale. The file's mtime is the
+// fallback birth certificate.
+func TestOpenSnapshotFileMtimeFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	st, tax, _, _ := randomWorld(t, rng)
+	built := BuildSnapshot(st, tax, Meta{})
+	built.built = time.Time{} // simulate a writer with no build timestamp
+	path := filepath.Join(t.TempDir(), "snap.nsnap")
+	if err := WriteSnapshotFile(path, built, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Pin a known mtime well in the past but far from the epoch.
+	want := time.Now().Add(-90 * time.Minute).Truncate(time.Second)
+	if err := os.Chtimes(path, want, want); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenSnapshotFile(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Info().Built; !got.Equal(want) {
+		t.Fatalf("Built = %v, want file mtime %v", got, want)
+	}
+	if age := loaded.Age(); age < 89*time.Minute || age > 92*time.Minute {
+		t.Fatalf("Age = %v, want ≈90m", age)
+	}
+
+	// A stamped file keeps its embedded time and ignores mtime entirely.
+	stamped := BuildSnapshot(st, tax, Meta{})
+	path2 := filepath.Join(t.TempDir(), "stamped.nsnap")
+	if err := WriteSnapshotFile(path2, stamped, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path2, want, want); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := OpenSnapshotFile(path2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded2.Info().Built; !got.Equal(stamped.Info().Built) {
+		t.Fatalf("stamped Built = %v, want %v", got, stamped.Info().Built)
 	}
 }
