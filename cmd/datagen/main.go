@@ -6,9 +6,16 @@
 //
 //	datagen -preset short -scale 10 -out data.nmtx -taxout tax.txt
 //	datagen -items 1000 -txs 20000 -fanout 5 -roots 20 -out data.txt
+//	datagen -drift -zipf 1.0 -drift-phases 4 -out drift.nmtx
 //
 // With -scale N only the transaction count is divided by N; the item
 // universe keeps the paper's proportions, preserving relative supports.
+//
+// With -drift the stationary cluster model is replaced by a drifting
+// zipfian stream: basket items are drawn by popularity rank with skew
+// -zipf, and the rank→item assignment rotates through -drift-phases
+// phases (every -drift-every transactions) — the non-stationary regime
+// the incremental miner and freshness benches exercise.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"strings"
 
 	"negmine"
+	"negmine/internal/datagen"
 )
 
 func main() {
@@ -42,6 +50,12 @@ func run(args []string, out io.Writer) error {
 		fanout  = fs.Float64("fanout", 0, "override: taxonomy fanout")
 		txLen   = fs.Float64("txlen", 0, "override: average transaction length")
 		cluster = fs.Int("clusters", 0, "override: number of potentially large clusters")
+
+		drift      = fs.Bool("drift", false, "drifting zipfian stream instead of the stationary cluster model")
+		zipf       = fs.Float64("zipf", 1.0, "with -drift: zipf skew exponent over items (0 = uniform)")
+		driftPh    = fs.Int("drift-phases", 4, "with -drift: popularity phases before the rotation repeats")
+		driftEvery = fs.Int("drift-every", 0, "with -drift: transactions per phase (0 = txs/phases)")
+		driftShift = fs.Int("drift-shift", 0, "with -drift: rank rotation per phase (0 = items/phases)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +96,21 @@ func run(args []string, out io.Writer) error {
 		p.NumClusters = *cluster
 	}
 
-	tax, db, err := negmine.GenerateData(p)
+	var (
+		tax *negmine.Taxonomy
+		db  *negmine.MemDB
+		err error
+	)
+	if *drift {
+		tax, db, err = datagen.GenerateDrift(p, datagen.DriftParams{
+			Exponent:       *zipf,
+			Phases:         *driftPh,
+			EventsPerPhase: *driftEvery,
+			Shift:          *driftShift,
+		})
+	} else {
+		tax, db, err = negmine.GenerateData(p)
+	}
 	if err != nil {
 		return err
 	}

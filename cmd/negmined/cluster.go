@@ -122,10 +122,11 @@ func (m *clusterMember) beat(ctx context.Context, srv *serve.Server) {
 		Addr:       m.addr,
 		Shard:      m.spec.shard,
 		Shards:     m.spec.shards,
-		Generation: info.Generation,
-		AgeSeconds: snap.Age().Seconds(),
-		Rules:      info.Rules,
-		SourceKind: info.SourceKind,
+		Generation:       info.Generation,
+		AgeSeconds:       snap.Age().Seconds(),
+		FreshnessSeconds: snap.Freshness().Seconds(),
+		Rules:            info.Rules,
+		SourceKind:       info.SourceKind,
 	}
 	if gov := srv.Governor(); gov != nil {
 		hb.Degraded = gov.Stats().Degraded

@@ -31,6 +31,7 @@ type ingestController struct {
 	srv        atomic.Pointer[serve.Server] // set after NewServer (attach)
 	pending    atomic.Int64                 // txns appended since last refresh start
 	refreshes  atomic.Int64                 // completed refreshes
+	wm         atomic.Pointer[watermark]    // newest append (tid, wall time)
 	remineTxns int64                        // pending threshold that triggers a re-mine (0 = off)
 	cacheSize  int                          // hot-item query cache bound (serve.Meta.CacheSize)
 
@@ -76,6 +77,33 @@ func newIngestController(dir, dataPath, taxPath string, opt negmine.NegativeOpti
 	return c, nil
 }
 
+// watermark is one (transaction id, append wall time) pair. The controller
+// keeps the newest one so each refreshed snapshot can be stamped with the
+// ingest horizon it covers (serve.Snapshot.SetWatermark).
+type watermark struct {
+	tid int64
+	at  time.Time
+}
+
+// noteAppend advances the append watermark to tid at the current wall time.
+// Monotonic in tid: a slow writer publishing after a faster one cannot move
+// the watermark backwards.
+func (c *ingestController) noteAppend(tid int64) {
+	if tid <= 0 {
+		return
+	}
+	w := &watermark{tid: tid, at: time.Now()}
+	for {
+		old := c.wm.Load()
+		if old != nil && old.tid >= tid {
+			return
+		}
+		if c.wm.CompareAndSwap(old, w) {
+			return
+		}
+	}
+}
+
 // seed imports a transaction file into the empty log in sealed batches, so
 // the first refresh starts from reasonably sized partitions.
 func (c *ingestController) seed(dataPath string) error {
@@ -89,9 +117,11 @@ func (c *ingestController) seed(dataPath string) error {
 		if len(buf) == 0 {
 			return nil
 		}
-		if _, _, err := c.log.Append(buf); err != nil {
+		_, last, err := c.log.Append(buf)
+		if err != nil {
 			return err
 		}
+		c.noteAppend(last)
 		buf = buf[:0]
 		return c.log.Seal()
 	}
@@ -121,6 +151,11 @@ func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
 	// still counted pending until the next refresh — pending only drives
 	// triggers and metrics, never correctness.
 	c.pending.Store(0)
+	// Capture the watermark before Refresh seals the active segment:
+	// everything appended up to this point is guaranteed into the refresh,
+	// so the stamp is a lower bound and freshness is only ever overstated,
+	// never understated.
+	wm := c.wm.Load()
 	res, err := c.miner.Refresh(c.log)
 	if err != nil {
 		return nil, err
@@ -137,6 +172,9 @@ func (c *ingestController) load(ctx context.Context) (*serve.Snapshot, error) {
 	}
 	snap := serve.BuildSnapshot(st, c.tax, meta)
 	snap.SetProvenance(0, "ingest")
+	if wm != nil {
+		snap.SetWatermark(wm.tid, wm.at)
+	}
 	return snap, nil
 }
 
@@ -174,6 +212,7 @@ func (c *ingestController) Ingest(ctx context.Context, batch serve.IngestBatch) 
 		// A replayed ack: nothing new was appended, so nothing becomes pending.
 		return res, nil
 	}
+	c.noteAppend(ares.Last)
 	p := c.pending.Add(int64(len(sets)))
 	if c.remineTxns > 0 && p >= c.remineTxns {
 		if srv := c.srv.Load(); srv != nil {
@@ -209,6 +248,7 @@ func (c *ingestController) noteReplicated(n int64) {
 	if n <= 0 {
 		return
 	}
+	c.noteAppend(c.log.NextTID() - 1)
 	p := c.pending.Add(n)
 	if c.remineTxns > 0 && p >= c.remineTxns {
 		if srv := c.srv.Load(); srv != nil {

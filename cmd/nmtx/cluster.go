@@ -140,8 +140,8 @@ func clusterStatus(out io.Writer, router string, timeout time.Duration) error {
 			continue
 		}
 		for _, r := range shard.Replicas {
-			fmt.Fprintf(out, "  %-20s %-22s %-10s gen %-5d age %6.1fs  rules %d",
-				r.Node, r.Addr, r.State, r.Generation, r.AgeSeconds, r.Rules)
+			fmt.Fprintf(out, "  %-20s %-22s %-10s gen %-5d age %6.1fs  fresh %6.1fs  rules %d",
+				r.Node, r.Addr, r.State, r.Generation, r.AgeSeconds, r.FreshnessSeconds, r.Rules)
 			if r.SourceKind != "" {
 				fmt.Fprintf(out, "  via %s", r.SourceKind)
 			}

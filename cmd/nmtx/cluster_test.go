@@ -31,7 +31,7 @@ func TestClusterStatusHealthy(t *testing.T) {
 		Table: []cluster.ShardStatus{
 			{Shard: 0, Routable: true, Replicas: []cluster.ReplicaStatus{
 				{Node: "n0", Addr: "127.0.0.1:9000", State: "healthy", Generation: 7,
-					AgeSeconds: 1.5, Rules: 120, SourceKind: "mmap"},
+					AgeSeconds: 1.5, FreshnessSeconds: 2.5, Rules: 120, SourceKind: "mmap"},
 			}},
 			{Shard: 1, Routable: true, Replicas: []cluster.ReplicaStatus{
 				{Node: "n1", Addr: "127.0.0.1:9001", State: "healthy", Generation: 7, Rules: 115},
@@ -48,7 +48,7 @@ func TestClusterStatusHealthy(t *testing.T) {
 	text := out.String()
 	for _, want := range []string{
 		"(ok)", "2 (2 routable), 3 replicas, 42 heartbeats",
-		"shard 0  routable", "n0", "gen 7", "via mmap",
+		"shard 0  routable", "n0", "gen 7", "fresh    2.5s", "via mmap",
 		"shard 1  routable", "n1b", "suspect", "breaker OPEN", "(2 breaker opens)", "4/100 failed",
 	} {
 		if !strings.Contains(text, want) {

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"negmine/internal/atomicio"
+	"negmine/internal/loadsim"
+)
+
+// WorkloadBench is one negload run in the BENCH_serving.json workload
+// section: the offered traffic shape plus the measured outcome.
+type WorkloadBench struct {
+	Label string `json:"label"` // e.g. "1x" / "4x"
+	*loadsim.Result
+}
+
+// workloadSection is the "workload" value of BENCH_serving.json.
+type workloadSection struct {
+	Description string           `json:"description"`
+	Runs        []*WorkloadBench `json:"runs"`
+}
+
+// MergeWorkloadJSON upserts runs into the workload section of the JSON
+// document at path, preserving every other section. Workload runs merge by
+// label: an incoming run supersedes the old row with its label (dropped, new
+// row appended), so re-running "4x" refreshes that row without touching
+// "1x". A missing
+// or empty file starts a fresh document. The write is atomic.
+func MergeWorkloadJSON(path string, runs []*WorkloadBench) error {
+	doc := map[string]json.RawMessage{}
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(raw) > 0:
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("bench: %s is not a JSON object: %w", path, err)
+		}
+	case err != nil && !os.IsNotExist(err):
+		return err
+	}
+	if prev, ok := doc["workload"]; ok {
+		var old workloadSection
+		if err := json.Unmarshal(prev, &old); err == nil {
+			incoming := map[string]bool{}
+			for _, r := range runs {
+				incoming[r.Label] = true
+			}
+			merged := make([]*WorkloadBench, 0, len(old.Runs)+len(runs))
+			for _, r := range old.Runs {
+				if !incoming[r.Label] {
+					merged = append(merged, r)
+				}
+			}
+			runs = append(merged, runs...)
+		}
+	}
+	if _, ok := doc["description"]; !ok {
+		desc, _ := json.Marshal("Serving layer benchmarks (workload section produced by cmd/negload -workloadbench)")
+		doc["description"] = desc
+	}
+	section, err := json.Marshal(workloadSection{
+		Description: "Closed-loop workload simulator: drifting zipfian traffic with flash-sale bursts against a live daemon; freshness = tracer ingest→rule-visible latency (produced by cmd/negload -workloadbench)",
+		Runs:        runs,
+	})
+	if err != nil {
+		return err
+	}
+	doc["workload"] = section
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	})
+}
+
+// PrintWorkload renders workload runs as a human-readable summary.
+func PrintWorkload(w io.Writer, runs []*WorkloadBench) {
+	for _, r := range runs {
+		fmt.Fprintf(w, "%s: offered %.0f rps, achieved %.0f rps over %.1fs (%d ops)\n",
+			r.Label, r.OfferedRPS, r.AchievedRPS, r.ElapsedSeconds, r.Ops)
+		for _, ep := range r.Endpoints {
+			if ep.Sent == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-6s %6d sent  ok %-6d 4xx %-4d 5xx %-4d shed %-4d 206 %-4d net %-3d  p50 %.2fms p99 %.2fms p999 %.2fms\n",
+				ep.Endpoint, ep.Sent, ep.OK, ep.Err4xx, ep.Err5xx, ep.Shed, ep.Partial, ep.NetErr,
+				ep.P50Ms, ep.P99Ms, ep.P999Ms)
+		}
+		if fr := r.Freshness; fr != nil {
+			fmt.Fprintf(w, "  freshness: %d/%d tracers visible (plants %d txns)  p50 %.2fs p99 %.2fs max %.2fs\n",
+				fr.Visible, fr.Tracers, fr.PlantTxns, fr.P50Seconds, fr.P99Seconds, fr.MaxSeconds)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"negmine/internal/loadsim"
+)
+
+func TestMergeWorkloadJSONUpsert(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	if err := os.WriteFile(path, []byte(`{"description":"keep me","scale":7,"benches":[{"dataset":"d"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	row := func(label string, rps float64) *WorkloadBench {
+		return &WorkloadBench{Label: label, Result: &loadsim.Result{OfferedRPS: rps}}
+	}
+	if err := MergeWorkloadJSON(path, []*WorkloadBench{row("1x", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeWorkloadJSON(path, []*WorkloadBench{row("4x", 400)}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running a label replaces its row in place.
+	if err := MergeWorkloadJSON(path, []*WorkloadBench{row("1x", 150)}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Description string `json:"description"`
+		Scale       int    `json:"scale"`
+		Benches     []any  `json:"benches"`
+		Workload    struct {
+			Runs []*WorkloadBench `json:"runs"`
+		} `json:"workload"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%v\n%s", err, raw)
+	}
+	if doc.Description != "keep me" || doc.Scale != 7 || len(doc.Benches) != 1 {
+		t.Fatalf("merge clobbered foreign sections: %s", raw)
+	}
+	runs := doc.Workload.Runs
+	if len(runs) != 2 || runs[0].Label != "4x" || runs[1].Label != "1x" {
+		t.Fatalf("runs = %+v, want [4x, 1x]", runs)
+	}
+	if runs[1].OfferedRPS != 150 {
+		t.Fatalf("1x row not replaced: offered %v", runs[1].OfferedRPS)
+	}
+
+	// A corrupt document is rejected, not overwritten.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeWorkloadJSON(bad, []*WorkloadBench{row("1x", 1)}); err == nil {
+		t.Fatal("corrupt bench file accepted")
+	}
+	// A missing file starts a fresh document.
+	fresh := filepath.Join(t.TempDir(), "new.json")
+	if err := MergeWorkloadJSON(fresh, []*WorkloadBench{row("1x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ := os.ReadFile(fresh); !json.Valid(raw) {
+		t.Fatalf("fresh document invalid: %s", raw)
+	}
+}

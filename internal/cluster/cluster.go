@@ -133,9 +133,13 @@ type Heartbeat struct {
 	// heartbeat whose width disagrees with its own -shards so a misconfigured
 	// node cannot silently serve a differently-partitioned rule set.
 	Shards     int     `json:"shards"`
-	Generation uint64  `json:"generation"`           // snapshot generation being served
-	AgeSeconds float64 `json:"snapshotAgeSeconds"`   // staleness of the served snapshot
-	Rules      int     `json:"rules"`                // rules in the served snapshot
+	Generation uint64  `json:"generation"`         // snapshot generation being served
+	AgeSeconds float64 `json:"snapshotAgeSeconds"` // staleness of the served snapshot
+	// FreshnessSeconds is the node's rule freshness: now minus the newest
+	// ingested transaction visible in its served snapshot (equals the
+	// snapshot age on nodes without an ingest watermark — same clock).
+	FreshnessSeconds float64 `json:"freshnessSeconds"`
+	Rules            int     `json:"rules"`                // rules in the served snapshot
 	SourceKind string  `json:"sourceKind,omitempty"` // mined | json | ingest | mmap
 	Degraded   bool    `json:"degraded,omitempty"`   // govern degraded mode (shedding expensive work)
 	// IngestRole is the node's write-path role: "primary" (accepts

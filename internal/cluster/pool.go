@@ -118,6 +118,7 @@ type replica struct {
 	// Advertised serving state, from the last heartbeat.
 	generation uint64
 	ageSeconds float64
+	freshness  float64
 	rules      int
 	sourceKind string
 	degraded   bool
@@ -220,6 +221,7 @@ func (p *Pool) Heartbeat(hb Heartbeat) error {
 	r.lastBeat = now
 	r.generation = hb.Generation
 	r.ageSeconds = hb.AgeSeconds
+	r.freshness = hb.FreshnessSeconds
 	r.rules = hb.Rules
 	r.sourceKind = hb.SourceKind
 	r.degraded = hb.Degraded
@@ -581,6 +583,7 @@ type ReplicaStatus struct {
 	State            string  `json:"state"`
 	Generation       uint64  `json:"generation"`
 	AgeSeconds       float64 `json:"snapshotAgeSeconds"`
+	FreshnessSeconds float64 `json:"freshnessSeconds"`
 	Rules            int     `json:"rules"`
 	SourceKind       string  `json:"sourceKind,omitempty"`
 	Degraded         bool    `json:"degraded,omitempty"`
@@ -627,20 +630,21 @@ func (p *Pool) Status() Status {
 		row := ShardStatus{Shard: shard, Replicas: []ReplicaStatus{}}
 		for _, r := range p.byShard[shard] {
 			rs := ReplicaStatus{
-				Node:            r.node,
-				Addr:            r.addr,
-				State:           r.state.String(),
-				Generation:      r.generation,
-				AgeSeconds:      r.ageSeconds,
-				Rules:           r.rules,
-				SourceKind:      r.sourceKind,
-				Degraded:        r.degraded,
-				IngestRole:      r.ingestRole,
-				ReplLagSegments: r.replLag,
-				Failures:        r.failures,
-				Requests:        r.requests,
-				BreakerOpen:     r.breakerOpen(now),
-				BreakerOpens:    r.brOpens,
+				Node:             r.node,
+				Addr:             r.addr,
+				State:            r.state.String(),
+				Generation:       r.generation,
+				AgeSeconds:       r.ageSeconds,
+				FreshnessSeconds: r.freshness,
+				Rules:            r.rules,
+				SourceKind:       r.sourceKind,
+				Degraded:         r.degraded,
+				IngestRole:       r.ingestRole,
+				ReplLagSegments:  r.replLag,
+				Failures:         r.failures,
+				Requests:         r.requests,
+				BreakerOpen:      r.breakerOpen(now),
+				BreakerOpens:     r.brOpens,
 			}
 			if !r.lastBeat.IsZero() {
 				rs.LastHeartbeatAgo = now.Sub(r.lastBeat).Seconds()

@@ -1,0 +1,76 @@
+package datagen
+
+import (
+	"fmt"
+
+	"negmine/internal/item"
+	"negmine/internal/stats"
+	"negmine/internal/taxonomy"
+	"negmine/internal/txdb"
+)
+
+// DriftParams parameterizes GenerateDrift's traffic model on top of the
+// base Params (which still control the taxonomy shape, transaction count,
+// basket length, and seed).
+type DriftParams struct {
+	Exponent       float64 // zipf skew over leaf items (0 = uniform)
+	Phases         int     // popularity phases (≤ 1 = stationary)
+	EventsPerPhase int     // transactions per phase (0 = NumTransactions/Phases)
+	Shift          int     // rank rotation per phase (0 = NumItems/Phases)
+}
+
+// GenerateDrift builds the taxonomy exactly as Generate does, then emits
+// transactions from a drifting zipfian BasketStream instead of the paper's
+// stationary cluster model: basket items are leaves drawn by popularity
+// rank, and the rank→leaf assignment rotates every EventsPerPhase
+// transactions. Use it to exercise the incremental miner and serving stack
+// under the non-stationary regime the stationary generator cannot produce.
+func GenerateDrift(p Params, d DriftParams) (*taxonomy.Taxonomy, *txdb.MemDB, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	src := stats.NewSource(p.Seed)
+	tax, err := taxonomy.Generate(taxonomy.GenSpec{
+		Leaves: p.NumItems,
+		Roots:  p.Roots,
+		Fanout: p.Fanout,
+	}, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	leaves := tax.Leaves()
+	every := d.EventsPerPhase
+	if every == 0 && d.Phases > 1 {
+		every = p.NumTransactions / d.Phases
+		if every < 1 {
+			every = 1
+		}
+	}
+	stream, err := NewBasketStream(StreamConfig{
+		N:              leaves.Len(),
+		Exponent:       d.Exponent,
+		AvgLen:         p.AvgTxLen,
+		Phases:         d.Phases,
+		EventsPerPhase: every,
+		Shift:          d.Shift,
+		Seed:           p.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if leaves.Len() == 0 {
+		return nil, nil, fmt.Errorf("datagen: taxonomy has no leaves")
+	}
+	db := &txdb.MemDB{}
+	var idx []int
+	items := make([]item.Item, 0, int(p.AvgTxLen)+8)
+	for i := 0; i < p.NumTransactions; i++ {
+		idx = stream.Next(idx[:0])
+		items = items[:0]
+		for _, r := range idx {
+			items = append(items, leaves[r])
+		}
+		db.Append(txdb.Transaction{TID: int64(i + 1), Items: item.New(items...)})
+	}
+	return tax, db, nil
+}

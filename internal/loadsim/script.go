@@ -1,0 +1,142 @@
+package loadsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"negmine/internal/datagen"
+	"negmine/internal/stats"
+)
+
+// wire mirrors of the serve-layer request bodies (kept local so loadsim
+// can also drive a router or a fake daemon without importing serve).
+type ingestBody struct {
+	Baskets [][]string `json:"baskets"`
+}
+
+type scoreBody struct {
+	Basket []string `json:"basket"`
+	Limit  int      `json:"limit,omitempty"`
+}
+
+// Script expands cfg into the full deterministic op sequence. It is a pure
+// function of (cfg, dict): the same inputs produce byte-identical ops —
+// bodies included — regardless of how fast the run later executes them.
+// Tracer items are reserved out of the background item pool first, so the
+// stream can never accidentally bump a tracer's engineered support.
+func Script(cfg Config, dict Dict) ([]Op, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tracers, err := ChooseTracers(dict, cfg.Tracers)
+	if err != nil {
+		return nil, err
+	}
+	reserved := reservedItems(tracers)
+	items := make([]string, 0, len(dict.Items))
+	for _, it := range dict.Items {
+		if !reserved[it] {
+			items = append(items, it)
+		}
+	}
+	if len(items) < 2 {
+		return nil, fmt.Errorf("loadsim: %d background items after reserving tracers, want ≥ 2", len(items))
+	}
+
+	zipf, err := datagen.NewZipf(len(items), cfg.Zipf)
+	if err != nil {
+		return nil, err
+	}
+	sched := datagen.DriftSchedule{N: len(items), Phases: cfg.DriftPhases}
+	src := stats.NewSource(cfg.Seed)
+	mix := stats.NewWeightedChoice([]float64{cfg.MixIngest, cfg.MixScore, cfg.MixRules})
+
+	inBurst := func(t time.Duration) bool {
+		return cfg.BurstLen > 0 && t >= cfg.BurstStart && t < cfg.BurstStart+cfg.BurstLen
+	}
+	// drawItem samples one item name under the current drift phase; during
+	// the burst window draws concentrate on the hottest ranks (the flash
+	// sale: everyone is buying the same few things).
+	drawItem := func(phase int, burst bool) string {
+		rank := zipf.Sample(src)
+		if burst {
+			hot := cfg.BurstHot
+			if hot > len(items) {
+				hot = len(items)
+			}
+			if src.Float64() < 0.7 {
+				rank = src.Intn(hot)
+			}
+		}
+		return items[sched.Item(phase, rank)]
+	}
+	drawBasket := func(phase int, burst bool) []string {
+		target := src.PoissonAtLeast(cfg.BasketMean, 1)
+		if target > len(items) {
+			target = len(items)
+		}
+		basket := make([]string, 0, target)
+		seen := map[string]bool{}
+		for len(basket) < target {
+			it := drawItem(phase, burst)
+			if seen[it] {
+				// Duplicate: fall back to a uniform redraw so a tiny pool
+				// cannot stall the script.
+				it = items[sched.Item(phase, src.Intn(len(items)))]
+				if seen[it] {
+					continue
+				}
+			}
+			seen[it] = true
+			basket = append(basket, it)
+		}
+		return basket
+	}
+
+	var ops []Op
+	t := time.Duration(0)
+	event := 0
+	for t < cfg.Duration {
+		burst := inBurst(t)
+		phase := 0
+		if cfg.DriftPhases > 1 && cfg.DriftEvery > 0 {
+			phase = (event / cfg.DriftEvery) % cfg.DriftPhases
+		}
+		op := Op{At: t, Kind: mix.Sample(src)}
+		switch op.Kind {
+		case OpIngest:
+			baskets := make([][]string, cfg.IngestBatch)
+			for i := range baskets {
+				baskets[i] = drawBasket(phase, burst)
+			}
+			op.Body, err = json.Marshal(ingestBody{Baskets: baskets})
+			op.Txns = len(baskets)
+		case OpScore:
+			op.Body, err = json.Marshal(scoreBody{Basket: drawBasket(phase, burst), Limit: cfg.ScoreLimit})
+		case OpRules:
+			op.Item = drawItem(phase, burst)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		event++
+		amp := 1.0
+		if burst {
+			amp = cfg.BurstAmp
+		}
+		t += time.Duration(float64(time.Second) / (cfg.RPS * amp))
+	}
+	return ops, nil
+}
+
+// ScriptTxns sums the transactions a script's ingest ops will append.
+func ScriptTxns(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		n += op.Txns
+	}
+	return n
+}

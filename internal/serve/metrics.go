@@ -240,6 +240,13 @@ type metricsJSON struct {
 		// replica's snapshot store) have stalled and the node serves stale
 		// rules.
 		AgeSecondsGauge float64 `json:"age_seconds"`
+		// FreshnessSeconds is now minus the append time of the newest
+		// ingested transaction visible in the served rules — the rule
+		// freshness a client actually experiences. Without a watermark it
+		// equals the snapshot age (same clock, see Snapshot.Freshness).
+		// The snake_case twin is the scraper-stable gauge name.
+		FreshnessSeconds      float64 `json:"freshnessSeconds"`
+		FreshnessSecondsGauge float64 `json:"freshness_seconds"`
 		// Layout describes the arena + posting-list memory layout; Cache is
 		// the hot-item result cache (absent when caching is disabled).
 		Layout *LayoutInfo `json:"layout,omitempty"`
@@ -251,7 +258,18 @@ type metricsJSON struct {
 	Govern *governJSON `json:"govern,omitempty"`
 	// Ingest is the segment-log block: segment counts, bytes, pending
 	// transactions and last-refresh cost. Absent when ingest is disabled.
-	Ingest *IngestStats `json:"ingest,omitempty"`
+	Ingest *ingestJSON `json:"ingest,omitempty"`
+}
+
+// ingestJSON is the ingest block of the /metrics document: the sink's own
+// counters plus the visible watermark, which is read from the *served*
+// snapshot rather than the sink so that a failed reload keeping the old
+// snapshot in place reports honestly.
+type ingestJSON struct {
+	IngestStats
+	// VisibleWatermark is the last ingested TID whose effect is visible in
+	// the served rules (0 until the first ingest-built snapshot).
+	VisibleWatermark int64 `json:"visible_watermark"`
 }
 
 // governJSON is the admission block of the /metrics document.
@@ -295,6 +313,8 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 		doc.Snapshot.SnapshotInfo = snap.Info()
 		doc.Snapshot.AgeSeconds = snap.Age().Seconds()
 		doc.Snapshot.AgeSecondsGauge = doc.Snapshot.AgeSeconds
+		doc.Snapshot.FreshnessSeconds = snap.Freshness().Seconds()
+		doc.Snapshot.FreshnessSecondsGauge = doc.Snapshot.FreshnessSeconds
 		layout := snap.Layout()
 		doc.Snapshot.Layout = &layout
 		doc.Snapshot.Cache = snap.CacheStats()
@@ -304,8 +324,10 @@ func (m *Metrics) WriteJSON(w io.Writer, snap *Snapshot) error {
 		doc.Govern = &governJSON{Stats: st, ShedTotal: st.Shed()}
 	}
 	if m.ingestStats != nil {
-		st := m.ingestStats()
-		doc.Ingest = &st
+		doc.Ingest = &ingestJSON{IngestStats: m.ingestStats()}
+		if snap != nil {
+			doc.Ingest.VisibleWatermark = snap.VisibleWatermark()
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -117,6 +117,12 @@ type Snapshot struct {
 	generation uint64 // artifact-store generation (0 when not from/in a store)
 	sourceKind string // "mined", "json", "ingest" or "mmap"
 	shard      string // cluster shard label "k/n" ("" when unsharded)
+
+	// Ingest watermark: the last transaction id whose effect is visible in
+	// this snapshot's rules and the wall-clock time it was appended. Zero
+	// for snapshots not built from a live log (batch mines, mmap boots).
+	wmTID int64
+	wmAt  time.Time
 }
 
 // pdesc mirrors snapfmt.PostingDesc (same field meaning and kind values)
@@ -592,6 +598,32 @@ func (s *Snapshot) CacheStats() *CacheStats {
 
 // Age returns how long ago the snapshot was built.
 func (s *Snapshot) Age() time.Duration { return time.Since(s.built) }
+
+// SetWatermark stamps the snapshot with the ingest watermark it covers: the
+// last transaction id visible in this snapshot's rules and the wall-clock
+// time that transaction was appended. Like SetProvenance it must be called
+// before the snapshot is published to concurrent readers.
+func (s *Snapshot) SetWatermark(tid int64, at time.Time) {
+	s.wmTID = tid
+	s.wmAt = at
+}
+
+// VisibleWatermark returns the last ingested transaction id visible in the
+// snapshot's rules, or 0 when unknown (batch mines, mmap boots).
+func (s *Snapshot) VisibleWatermark() int64 { return s.wmTID }
+
+// Freshness returns how stale the served rules are: now minus the append
+// time of the newest ingested transaction visible in the snapshot. A
+// snapshot without a watermark — a batch mine, an mmap boot, a replica that
+// has never mined locally — falls back to its build time, which is exactly
+// the clock Age reads (including the .nsnap CreatedNs/mtime fallback), so
+// age and freshness can never disagree about which clock they are on.
+func (s *Snapshot) Freshness() time.Duration {
+	if !s.wmAt.IsZero() {
+		return time.Since(s.wmAt)
+	}
+	return time.Since(s.built)
+}
 
 // Expand appends name and its taxonomy ancestors (nearest-first) to dst and
 // returns the extended slice. Unknown names expand to themselves. Expand is
